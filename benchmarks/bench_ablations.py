@@ -1,0 +1,45 @@
+"""Ablations of design choices called out in DESIGN.md.
+
+1. Refresh policy: postponing pairs doubles the refresh event latency,
+   shrinking the refresh-to-back-off separation an attacker must
+   discriminate (but the 4-RFM back-off still clears it comfortably).
+2. RFM receiver threshold T_recv: too low drowns in stray RFMs, too
+   high misses real 1-windows; the paper's choice of 3 sits on the
+   robust plateau.
+3. PRAC window duration: shorter windows raise the raw rate until
+   1-bits stop fitting the ~14 us activation ramp + 1.4 us back-off.
+"""
+
+from repro.analysis import experiments as E
+
+from conftest import publish, run_once
+
+
+def test_ablation_refresh_postponing(benchmark):
+    table = run_once(benchmark, E.ablation_refresh_postponing)
+    publish(table, "ablation_refresh_postponing")
+    separations = dict(zip(table.column("policy"),
+                           table.column("separation (ns)")))
+    assert separations["postpone-pair"] < separations["every-trefi"]
+    assert min(separations.values()) > 500.0  # 4-RFM stays separable
+
+
+def test_ablation_trecv(benchmark):
+    table = run_once(benchmark,
+                     lambda: E.ablation_trecv(n_bits=12))
+    publish(table, "ablation_trecv")
+    caps = dict(zip(table.column("T_recv"),
+                    table.column("capacity (Kbps)")))
+    assert caps[3] > caps[1]  # the paper's pick beats a naive threshold
+
+
+def test_ablation_window_size(benchmark):
+    table = run_once(benchmark,
+                     lambda: E.ablation_window_size(n_bits=12))
+    publish(table, "ablation_window_size")
+    rows = {r[0]: r for r in table.rows}
+    # Longer windows cost rate without buying reliability here.
+    assert rows[50][1] < rows[25][1]
+    # The shortest window gains raw rate but starts to pay errors.
+    assert rows[15][1] > rows[25][1]
+    assert rows[15][2] >= rows[25][2]

@@ -1,0 +1,27 @@
+"""Fig. 2: PRAC-induced memory access latencies and their observability.
+
+Paper result: back-offs appear as a distinct top latency level
+(~1.9x a periodic refresh, ~18x a row conflict), recurring every
+~2*N_BO - 1 requests of the interleaved two-row measurement loop.
+"""
+
+from repro.analysis import experiments as E
+
+from conftest import publish, run_once
+
+
+def test_fig02_latency_observability(benchmark):
+    out = run_once(benchmark,
+                   lambda: E.fig2_latency_observability(n_samples=512,
+                                                        nbo=128))
+    table = out["table"]
+    publish(table, "fig02_latency_observability")
+
+    means = dict(zip(table.column("event"),
+                     table.column("mean latency (ns)")))
+    # Paper shape: backoff >> refresh >> conflict, separable levels.
+    assert means["backoff"] > 1.5 * means["refresh"]
+    assert means["refresh"] > 5 * means["conflict"]
+    # Back-offs arrive after ~255 requests (2 * 128 - 1).
+    assert abs(out["first_backoff_index"] - 255) < 30
+    assert out["ground_truth_backoffs"] >= 1

@@ -1,0 +1,25 @@
+"""Fig. 4: PRAC covert channel capacity/error vs noise intensity.
+
+Paper result: 28.8 Kbps at 1% noise; capacity stays above 20.7 Kbps
+until very high noise intensity (~88%), then degrades.
+"""
+
+from repro.analysis import experiments as E
+
+from conftest import publish, run_once
+
+
+def test_fig04_prac_noise_sweep(benchmark):
+    table = run_once(benchmark,
+                     lambda: E.fig4_prac_noise_sweep(n_bits=24))
+    publish(table, "fig04_prac_noise_sweep")
+
+    caps = table.column("capacity (Kbps)")
+    errs = table.column("error probability")
+    assert caps[0] > 25.0  # strong channel at 1% noise
+    assert errs[0] < 0.12
+    assert caps[-1] < caps[0]  # degradation at 100%
+    # Capacity stays useful through mid intensities (paper: >20.7 Kbps
+    # until 88%).
+    mid = caps[:len(caps) * 3 // 4]
+    assert min(mid) > 15.0

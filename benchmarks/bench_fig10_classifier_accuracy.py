@@ -1,0 +1,43 @@
+"""Fig. 10 + Section 8 noise study: website classification accuracy.
+
+Paper result: the decision tree reaches 0.75 accuracy over 40 sites
+(30x random guessing); linear models perform poorly; with co-running
+SPEC noise accuracy drops to 66.1% but the attack still works.
+"""
+
+from repro.analysis import experiments as E
+from repro.sim.engine import MS
+
+from conftest import publish, run_once
+
+
+def test_fig10_classifier_accuracy(benchmark):
+    out = run_once(benchmark,
+                   lambda: E.fig10_table2_fingerprint(
+                       n_sites=10, traces_per_site=10,
+                       duration_ps=1 * MS, n_splits=5))
+    publish(out["fig10"], "fig10_classifier_accuracy")
+    publish(out["table2"], "table2_dt_crossval")
+
+    acc = out["accuracies"]
+    random_guess = 1.0 / 10
+    # The headline claim: classical models identify websites from
+    # back-off traces far above chance (paper: 30x random for the DT).
+    assert acc["Decision Tree"] > 5 * random_guess
+    assert acc["Random Forest"] > 5 * random_guess
+    assert acc["Gradient Boosting"] > 4 * random_guess
+    # Note: the paper's *linear* models score near-random on its raw
+    # pair features; our engineered features (window counts) remain
+    # linearly separable, so that particular gap does not reproduce --
+    # recorded in EXPERIMENTS.md.
+
+
+def test_fig10_with_application_noise(benchmark):
+    """Section 8, last paragraph: SPEC noise lowers accuracy but does
+    not defeat the attack (paper: 75% -> 66.1%)."""
+    out = run_once(benchmark,
+                   lambda: E.fig10_table2_fingerprint(
+                       n_sites=6, traces_per_site=6,
+                       duration_ps=1 * MS, n_splits=3, with_noise=True))
+    publish(out["fig10"], "fig10_with_noise")
+    assert out["accuracies"]["Decision Tree"] > 2.0 / 6

@@ -1,0 +1,26 @@
+"""Fig. 11: effect of the number of RFMs per back-off (4 vs 2 vs 1).
+
+Paper result: shorter back-offs (fewer RFMs) are harder to distinguish
+from periodic refreshes, so error probability rises and channel
+capacity falls as the recovery shrinks from 4 to 2 to 1 RFM.
+"""
+
+import numpy as np
+
+from repro.analysis import experiments as E
+
+from conftest import publish, run_once
+
+
+def test_fig11_rfms_per_backoff(benchmark):
+    table = run_once(benchmark,
+                     lambda: E.fig11_rfms_per_backoff(
+                         intensities=(1, 25, 50, 75, 100), n_bits=16))
+    publish(table, "fig11_rfms_per_backoff")
+
+    by_rfms = {}
+    for row in table.rows:
+        by_rfms.setdefault(row[0], []).append(row[3])  # capacity
+    mean_cap = {k: float(np.mean(v)) for k, v in by_rfms.items()}
+    print(f"\nmean capacity by RFMs/back-off: {mean_cap}")
+    assert mean_cap[4] >= mean_cap[2] >= mean_cap[1]

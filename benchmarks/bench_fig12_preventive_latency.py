@@ -1,0 +1,25 @@
+"""Fig. 12: channel capacity vs preventive-action latency.
+
+Paper result: reducing the preventive-action latency eliminates the
+timing channel only below ~10 ns -- far less than the 96/192 ns needed
+to actually refresh one aggressor's victims (blast radius 1/2), so
+latency reduction cannot fix LeakyHammer.
+"""
+
+from repro.analysis import experiments as E
+
+from conftest import publish, run_once
+
+
+def test_fig12_preventive_latency(benchmark):
+    table = run_once(benchmark,
+                     lambda: E.fig12_preventive_latency(n_bits=16))
+    publish(table, "fig12_preventive_latency")
+
+    caps = dict(zip(table.column("latency (ns)"),
+                    table.column("capacity (Kbps)")))
+    assert caps[0] < 1.0  # zero-latency action: channel gone
+    assert caps[5] < 1.0  # below the ~10 ns resolution: still gone
+    assert caps[25] > 25.0  # above resolution: alive
+    assert caps[96] > 25.0  # blast radius 1 minimum: fully alive
+    assert caps[192] > 25.0  # blast radius 2 minimum: fully alive

@@ -1,0 +1,42 @@
+"""Fig. 13: performance of PRAC/PRFM/PRAC-RIAC/FR-RFM/PRAC-Bank.
+
+Paper result: all mechanisms are near-baseline at N_RH = 1024 (FR-RFM
+~7% overhead); at N_RH = 64 FR-RFM collapses (18.2x) while PRAC-RIAC
+stays ~2.14x, making capacity-reduction countermeasures the practical
+choice at very low thresholds; PRAC-Bank tracks PRAC within 2.5%
+everywhere.
+"""
+
+from repro.analysis import experiments as E
+
+from conftest import publish, run_once
+
+
+def test_fig13_countermeasure_performance(benchmark):
+    out = run_once(benchmark,
+                   lambda: E.fig13_performance(
+                       nrh_values=(1024, 512, 256, 128, 64),
+                       n_mixes=3, n_requests=8_000))
+    table = out["table"]
+    publish(table, "fig13_countermeasure_perf")
+
+    nrh = table.column("N_RH")
+    frrfm = dict(zip(nrh, table.column("FR-RFM")))
+    riac = dict(zip(nrh, table.column("PRAC-RIAC")))
+    prac = dict(zip(nrh, table.column("PRAC")))
+    bank = dict(zip(nrh, table.column("PRAC-Bank")))
+
+    # Near-baseline at N_RH = 1024 for everyone.
+    assert frrfm[1024] > 0.90
+    assert riac[1024] > 0.93
+    # FR-RFM collapses at N_RH = 64; RIAC degrades far less.
+    assert frrfm[64] < 0.5
+    assert riac[64] > 1.8 * frrfm[64]
+    # Crossover: FR-RFM competitive at >= 512, loses by 128.
+    assert frrfm[512] > 0.85
+    assert riac[128] > frrfm[128]
+    # PRAC-Bank within a few percent of PRAC at every threshold.
+    for t in nrh:
+        assert abs(bank[t] - prac[t]) < 0.05
+    # Monotone degradation as N_RH falls.
+    assert frrfm[1024] >= frrfm[256] >= frrfm[64]

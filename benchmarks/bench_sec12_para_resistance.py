@@ -1,0 +1,22 @@
+"""Section 12: random trigger algorithms resist LeakyHammer.
+
+Paper claim: mechanisms with *random* trigger algorithms (e.g., PARA)
+make RowHammer-defense timing channels hard to build because an
+attacker cannot reliably trigger or observe preventive actions.
+"""
+
+from repro.analysis import experiments as E
+
+from conftest import publish, run_once
+
+
+def test_sec12_para_resistance(benchmark):
+    table = run_once(benchmark,
+                     lambda: E.sec12_para_resistance(n_bits=16))
+    publish(table, "sec12_para_resistance")
+
+    metrics = dict(zip(table.column("metric"), table.column("value")))
+    # The deterministic PRAC channel decodes noiselessly with e = 0;
+    # against PARA the same protocol becomes unreliable.
+    assert metrics["decode error probability"] > 0.05
+    assert metrics["capacity (Kbps)"] < 25.0  # << the 40 Kbps PRAC channel

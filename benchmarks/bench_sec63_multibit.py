@@ -1,0 +1,25 @@
+"""Section 6.3: multibit (ternary/quaternary) PRAC covert channels.
+
+Paper result: raw bit rates 39.0 / 61.7 / 76.8 Kbps for binary /
+ternary / quaternary; higher-order alphabets are less noise tolerant
+(errors 0.04 and 0.29 at the base noise level).
+"""
+
+from repro.analysis import experiments as E
+
+from conftest import publish, run_once
+
+
+def test_sec63_multibit(benchmark):
+    table = run_once(benchmark,
+                     lambda: E.sec63_multibit(n_symbols=32,
+                                              noise_intensity=1.0))
+    publish(table, "sec63_multibit")
+
+    raw = table.column("raw bit rate (Kbps)")
+    errs = table.column("error probability")
+    # Rates scale as log2(levels) over the same window.
+    assert raw[0] < raw[1] < raw[2]
+    assert abs(raw[2] - 2 * raw[0]) < 2.0
+    # Denser constellations are at most as robust as binary.
+    assert errs[2] >= errs[0]

@@ -1,0 +1,23 @@
+"""Section 9.1: leaking PRAC activation-counter values.
+
+Paper result: a 7-bit counter value (N_BO = 128) leaks in ~13.6 us on
+average, i.e., ~501 Kbps leakage throughput.
+"""
+
+from repro.analysis import experiments as E
+
+from conftest import publish, run_once
+
+
+def test_sec91_counter_leak(benchmark):
+    out = run_once(benchmark,
+                   lambda: E.sec91_counter_leak(
+                       secrets=list(range(4, 124, 12))))
+    publish(out["table"], "sec91_counter_leak")
+
+    outcome = out["outcome"]
+    assert outcome["accuracy_within_1"] == 1.0
+    assert outcome["bits_per_value"] == 7.0
+    # Same order of magnitude as the paper's 13.6 us / 501 Kbps.
+    assert 3.0 < outcome["mean_elapsed_us"] < 40.0
+    assert outcome["throughput_kbps"] > 150.0

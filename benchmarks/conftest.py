@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables/figures at a
+reduced-but-faithful scale (see DESIGN.md section 7), prints the rows/
+series, and writes both a text rendering and a CSV under
+``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def publish(table, name: str) -> None:
+    """Print a figure table and persist it as .txt + .csv."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.to_text()
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    table.to_csv(RESULTS_DIR / f"{name}.csv")
+    print("\n" + text)
+
+
+def run_once(benchmark, fn):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

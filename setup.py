@@ -1,0 +1,13 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+Offline environments that cannot satisfy PEP-517 build isolation can
+install with::
+
+    pip install -e . --no-build-isolation --no-use-pep517
+
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

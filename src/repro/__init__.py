@@ -1,0 +1,32 @@
+"""LeakyHammer reproduction: covert & side channels from RowHammer defenses.
+
+Reproduces Bostanci et al., "Understanding and Mitigating Covert Channel
+and Side Channel Vulnerabilities Introduced by RowHammer Defenses"
+(MICRO 2025) as a pure-Python library: a DDR5 memory-system simulator,
+the PRAC / Periodic-RFM defenses, the LeakyHammer attack suite, the
+FR-RFM / PRAC-RIAC / Bank-Level-PRAC countermeasures, and an evaluation
+harness regenerating every figure and table of the paper.
+"""
+
+from repro.sim.config import (
+    DefenseKind,
+    DefenseParams,
+    DramOrg,
+    DramTiming,
+    RefreshPolicy,
+    SystemConfig,
+)
+from repro.system import MemorySystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MemorySystem",
+    "SystemConfig",
+    "DramTiming",
+    "DramOrg",
+    "DefenseParams",
+    "DefenseKind",
+    "RefreshPolicy",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Command-line entry point: ``python -m repro``.
+
+Runs the quick reproduction report (scaled-down versions of the
+headline experiments) and prints it; ``--save PATH`` also writes the
+markdown to disk.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.report import quick_report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="LeakyHammer reproduction quick report")
+    parser.add_argument("--save", metavar="PATH", default=None,
+                        help="also write the markdown report to PATH")
+    args = parser.parse_args(argv)
+
+    report = quick_report()
+    print(report.to_markdown())
+    if args.save:
+        path = report.save(args.save)
+        print(f"\nreport written to {path}", file=sys.stderr)
+    return 0 if report.all_passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,16 @@
+"""Evaluation harness: figure renderers, speedup math, experiment drivers."""
+
+from repro.analysis.figures import FigureTable, render_strip
+from repro.analysis.speedup import (
+    normalized_weighted_speedup,
+    run_mix,
+    run_solo,
+)
+
+__all__ = [
+    "FigureTable",
+    "render_strip",
+    "run_mix",
+    "run_solo",
+    "normalized_weighted_speedup",
+]

@@ -1,0 +1,111 @@
+"""Text/CSV renderers for the reproduced figures and tables.
+
+No plotting libraries are available offline, so every figure is
+regenerated as an aligned text table (the paper's series/rows) plus an
+optional CSV written next to the benchmark output.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+#: Eight-level block ramp for strip/heat rendering (Fig. 9 style).
+_BLOCKS = " .:-=+*#@"
+
+
+@dataclass
+class FigureTable:
+    """One reproduced figure/table as rows of values."""
+
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(list(values))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}" if abs(value) < 1000 else f"{value:.1f}"
+        return str(value)
+
+    def to_text(self) -> str:
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [len(c) for c in self.columns]
+        for row in cells:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(widths[i])
+                           for i, c in enumerate(self.columns))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in cells:
+            lines.append("  ".join(cell.ljust(widths[i])
+                                   for i, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path
+
+    def column(self, name: str) -> list:
+        """Values of one column (for assertions in tests/benches)."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+
+def render_strip(counts: Sequence[float], max_value: float | None = None
+                 ) -> str:
+    """Render a count vector as a Fig. 9-style intensity strip."""
+    values = list(counts)
+    if not values:
+        return ""
+    peak = max_value if max_value is not None else max(values)
+    if peak <= 0:
+        return " " * len(values)
+    chars = []
+    for v in values:
+        level = min(len(_BLOCKS) - 1,
+                    int(round(v / peak * (len(_BLOCKS) - 1))))
+        chars.append(_BLOCKS[max(0, level)])
+    return "".join(chars)
+
+
+def render_series(xs: Iterable, ys: Iterable[float], width: int = 60,
+                  height: int = 12, title: str = "") -> str:
+    """Tiny ASCII scatter/line rendering for quick visual inspection."""
+    xs = list(xs)
+    ys = list(ys)
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for i, y in enumerate(ys):
+        col = int(i / max(1, len(ys) - 1) * (width - 1))
+        row = int((1.0 - (y - lo) / span) * (height - 1))
+        grid[row][col] = "*"
+    lines = ([title] if title else []) + [
+        "".join(row) for row in grid
+    ] + [f"y: [{lo:.3g}, {hi:.3g}]  x: {xs[0]} .. {xs[-1]}"]
+    return "\n".join(lines)

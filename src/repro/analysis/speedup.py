@@ -1,0 +1,55 @@
+"""Multicore performance evaluation (paper Fig. 13).
+
+Weighted speedup of a four-core workload is sum_i IPC_shared_i /
+IPC_alone_i.  Every app issues a fixed request count, so IPC is
+proportional to 1/elapsed-time and
+
+    WS = sum_i T_alone_i / T_shared_i.
+
+Fig. 13 reports WS under each defense normalized to WS on a baseline
+system with no RowHammer mitigation.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.agent import run_agents
+from repro.cpu.app import AppSpec, SyntheticAppAgent
+from repro.sim.config import SystemConfig
+from repro.sim.engine import MS
+from repro.system import MemorySystem
+
+
+def run_solo(config: SystemConfig, app: AppSpec,
+             hard_limit: int = 2_000 * MS) -> int:
+    """Elapsed time of one app running alone; returns picoseconds."""
+    system = MemorySystem(config)
+    agent = SyntheticAppAgent(system, app)
+    run_agents(system, [agent], hard_limit=hard_limit)
+    return agent.elapsed
+
+
+def run_mix(config: SystemConfig, apps: list[AppSpec],
+            hard_limit: int = 2_000 * MS) -> dict[str, int]:
+    """Elapsed time per app when co-running on one memory system."""
+    system = MemorySystem(config)
+    agents = [SyntheticAppAgent(system, app) for app in apps]
+    run_agents(system, agents, hard_limit=hard_limit)
+    return {agent.name: agent.elapsed for agent in agents}
+
+
+def weighted_speedup(alone: dict[str, int],
+                     shared: dict[str, int]) -> float:
+    """WS = sum of per-app T_alone / T_shared."""
+    if set(alone) != set(shared):
+        raise ValueError("alone and shared runs cover different apps")
+    if not alone:
+        raise ValueError("empty workload")
+    return sum(alone[name] / shared[name] for name in alone)
+
+
+def normalized_weighted_speedup(alone: dict[str, int],
+                                baseline: dict[str, int],
+                                defended: dict[str, int]) -> float:
+    """Fig. 13's metric: WS(defense) / WS(no-mitigation baseline)."""
+    return (weighted_speedup(alone, defended)
+            / weighted_speedup(alone, baseline))

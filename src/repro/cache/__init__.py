@@ -1,0 +1,8 @@
+"""Cache hierarchy substrate for the Section 10.3 sensitivity study."""
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.cache.prefetcher import BestOffsetPrefetcher
+
+__all__ = ["Cache", "CacheHierarchy", "HierarchyConfig",
+           "BestOffsetPrefetcher"]

@@ -1,0 +1,77 @@
+"""A set-associative cache with LRU replacement and clflush support."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class Cache:
+    """One cache level.
+
+    Lines are tracked as an ordered set per cache set; the eldest entry
+    is the LRU victim.  ``lookup`` moves hits to MRU; ``fill`` inserts
+    and returns the evicted line address (or ``None``).
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_bytes: int = 64,
+                 latency_ps: int = 0, name: str = "cache") -> None:
+        if size_bytes <= 0 or ways <= 0 or line_bytes <= 0:
+            raise ValueError("cache geometry must be positive")
+        n_lines = size_bytes // line_bytes
+        if n_lines % ways:
+            raise ValueError("size/line count must divide by ways")
+        self.n_sets = n_lines // ways
+        if self.n_sets < 1:
+            raise ValueError("cache must have at least one set")
+        self.ways = ways
+        self.line_bytes = line_bytes
+        self.latency_ps = latency_ps
+        self.name = name
+        self._sets: list[OrderedDict[int, None]] = [
+            OrderedDict() for _ in range(self.n_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _index(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.n_sets, line
+
+    def lookup(self, addr: int) -> bool:
+        """Probe the cache; hits refresh LRU position."""
+        set_idx, line = self._index(addr)
+        entries = self._sets[set_idx]
+        if line in entries:
+            entries.move_to_end(line)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def fill(self, addr: int) -> int | None:
+        """Insert a line; returns the evicted line's address, if any."""
+        set_idx, line = self._index(addr)
+        entries = self._sets[set_idx]
+        if line in entries:
+            entries.move_to_end(line)
+            return None
+        victim = None
+        if len(entries) >= self.ways:
+            victim_line, _ = entries.popitem(last=False)
+            victim = victim_line * self.line_bytes
+        entries[line] = None
+        return victim
+
+    def invalidate(self, addr: int) -> bool:
+        """clflush: drop the line; returns whether it was present."""
+        set_idx, line = self._index(addr)
+        return self._sets[set_idx].pop(line, "absent") != "absent"
+
+    def contains(self, addr: int) -> bool:
+        """Presence check without touching LRU state."""
+        set_idx, line = self._index(addr)
+        return line in self._sets[set_idx]
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,130 @@
+"""A multi-level cache hierarchy front-end for trace agents.
+
+The attacks themselves flush their lines (clflush) so they always reach
+DRAM; what the cache hierarchy changes (paper Section 10.3) is (1) the
+constant on-chip latency an attacker's request pays, (2) how much of a
+*victim's* traffic is filtered before reaching DRAM (fewer preventive
+actions), and (3) prefetcher-injected extra DRAM traffic (more noise).
+This module provides exactly those three effects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.cache import Cache
+from repro.cache.prefetcher import BestOffsetPrefetcher
+from repro.sim.engine import NS
+
+
+@dataclass(frozen=True)
+class LevelSpec:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    ways: int
+    latency_ps: int
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """Cache hierarchy configuration.
+
+    The defaults model the paper's base system (32 KB L1 + 4 MB LLC);
+    :meth:`large` models the Section 10.3 system (adds a 256 KB L2 and
+    a 6 MB LLC with Best-Offset prefetching at L2).
+    """
+
+    levels: tuple[LevelSpec, ...] = (
+        LevelSpec(32 * 1024, 8, 2 * NS),
+        LevelSpec(4 * 1024 * 1024, 16, 10 * NS),
+    )
+    line_bytes: int = 64
+    prefetch: bool = False
+
+    @classmethod
+    def large(cls) -> "HierarchyConfig":
+        return cls(levels=(
+            LevelSpec(32 * 1024, 8, 2 * NS),
+            LevelSpec(256 * 1024, 8, 5 * NS),
+            LevelSpec(6 * 1024 * 1024, 16, 12 * NS),
+        ), prefetch=True)
+
+    @property
+    def total_lookup_latency(self) -> int:
+        """Latency of missing every level (the attacker's clflush path)."""
+        return sum(level.latency_ps for level in self.levels)
+
+
+@dataclass
+class AccessOutcome:
+    """Result of sending one access through the hierarchy."""
+
+    hit_level: int | None  #: 0-based level index, None = DRAM
+    latency_ps: int  #: on-chip latency spent before DRAM (if any)
+    dram_addresses: list[int] = field(default_factory=list)
+
+
+class CacheHierarchy:
+    """Inclusive multi-level hierarchy with optional L2 Best-Offset
+    prefetching; misses return the DRAM addresses to fetch."""
+
+    def __init__(self, config: HierarchyConfig | None = None) -> None:
+        self.config = config if config is not None else HierarchyConfig()
+        self.caches = [
+            Cache(level.size_bytes, level.ways, self.config.line_bytes,
+                  level.latency_ps, name=f"L{i + 1}")
+            for i, level in enumerate(self.config.levels)
+        ]
+        prefetch_level = min(1, len(self.caches) - 1)
+        self._prefetch_cache = self.caches[prefetch_level]
+        self.prefetcher = (
+            BestOffsetPrefetcher(line_bytes=self.config.line_bytes)
+            if self.config.prefetch else None)
+
+    # ------------------------------------------------------------------
+    def access(self, addr: int) -> AccessOutcome:
+        """Look up ``addr``; on a full miss the outcome lists the DRAM
+        fetches to perform (demand line plus any prefetch)."""
+        latency = 0
+        for idx, cache in enumerate(self.caches):
+            latency += cache.latency_ps
+            if cache.lookup(addr):
+                self._fill_above(addr, idx)
+                return AccessOutcome(hit_level=idx, latency_ps=latency)
+        fetches = [addr]
+        if self.prefetcher is not None:
+            prefetch_addr = self.prefetcher.on_access(addr)
+            if prefetch_addr is not None and prefetch_addr != addr \
+                    and not self._prefetch_cache.contains(prefetch_addr):
+                fetches.append(prefetch_addr)
+        return AccessOutcome(hit_level=None, latency_ps=latency,
+                             dram_addresses=fetches)
+
+    def fill(self, addr: int, prefetch: bool = False) -> None:
+        """Install a line returned from DRAM into the hierarchy."""
+        if prefetch:
+            self._prefetch_cache.fill(addr)
+        else:
+            for cache in self.caches:
+                cache.fill(addr)
+            if self.prefetcher is not None:
+                self.prefetcher.record_fill(addr)
+
+    def _fill_above(self, addr: int, hit_level: int) -> None:
+        for cache in self.caches[:hit_level]:
+            cache.fill(addr)
+
+    def clflush(self, addr: int) -> None:
+        """Flush the line from every level (the attacker primitive)."""
+        for cache in self.caches:
+            cache.invalidate(addr)
+
+    # ------------------------------------------------------------------
+    @property
+    def miss_latency(self) -> int:
+        return self.config.total_lookup_latency
+
+    def stats(self) -> dict:
+        return {cache.name: {"hits": cache.hits, "misses": cache.misses}
+                for cache in self.caches}

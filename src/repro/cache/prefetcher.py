@@ -1,0 +1,81 @@
+"""Best-Offset hardware prefetching (Michaud, HPCA 2016).
+
+The prefetcher learns the best constant line offset D: on each L2 miss
+(or prefetched hit) to line X it tests one candidate offset d by
+checking whether X - d is in the recent-requests (RR) table -- if so,
+a prefetch of X + d back then would have been timely, so d scores a
+point.  After a full round over the candidate list, the best-scoring
+offset becomes the active prefetch offset.
+"""
+
+from __future__ import annotations
+
+#: Default candidate offsets (a subset of the paper's list).
+DEFAULT_OFFSETS = (1, 2, 3, 4, 5, 6, 8, 9, 10, 12, 15, 16)
+
+BAD_SCORE = 1
+MAX_SCORE = 31
+MAX_ROUNDS = 100
+
+
+class BestOffsetPrefetcher:
+    """Offset prefetcher with RR-table-based offset learning."""
+
+    def __init__(self, offsets: tuple[int, ...] = DEFAULT_OFFSETS,
+                 rr_size: int = 64, line_bytes: int = 64) -> None:
+        if not offsets:
+            raise ValueError("need at least one candidate offset")
+        self.offsets = offsets
+        self.rr_size = rr_size
+        self.line_bytes = line_bytes
+        self.best_offset: int = offsets[0]
+        self.prefetch_enabled = True
+        self._scores = {d: 0 for d in offsets}
+        self._test_idx = 0
+        self._round = 0
+        self._rr: dict[int, None] = {}
+        self.prefetches_issued = 0
+
+    # ------------------------------------------------------------------
+    def _rr_insert(self, line: int) -> None:
+        if line in self._rr:
+            return
+        if len(self._rr) >= self.rr_size:
+            self._rr.pop(next(iter(self._rr)))
+        self._rr[line] = None
+
+    def record_fill(self, addr: int) -> None:
+        """A demand fill completed: insert the *base* line (addr minus
+        the current prefetch offset) into the RR table."""
+        line = addr // self.line_bytes
+        self._rr_insert(line - self.best_offset)
+
+    def on_access(self, addr: int) -> int | None:
+        """Learn from one trigger access and maybe return an address to
+        prefetch (``None`` when prefetching is off or out of phase)."""
+        line = addr // self.line_bytes
+        candidate = self.offsets[self._test_idx]
+        if (line - candidate) in self._rr:
+            self._scores[candidate] += 1
+            if self._scores[candidate] >= MAX_SCORE:
+                self._finish_round()
+        self._test_idx += 1
+        if self._test_idx >= len(self.offsets):
+            self._test_idx = 0
+            self._round += 1
+            if self._round >= MAX_ROUNDS:
+                self._finish_round()
+        self._rr_insert(line)
+        if not self.prefetch_enabled:
+            return None
+        self.prefetches_issued += 1
+        return (line + self.best_offset) * self.line_bytes
+
+    def _finish_round(self) -> None:
+        best = max(self._scores, key=self._scores.__getitem__)
+        best_score = self._scores[best]
+        self.best_offset = best
+        self.prefetch_enabled = best_score > BAD_SCORE
+        self._scores = {d: 0 for d in self.offsets}
+        self._test_idx = 0
+        self._round = 0

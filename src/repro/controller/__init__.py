@@ -1,0 +1,6 @@
+"""Memory controller: FR-FCFS scheduling, refresh management, blocking."""
+
+from repro.controller.controller import MemoryController, Request
+from repro.controller.refresh import RefreshScheduler
+
+__all__ = ["MemoryController", "Request", "RefreshScheduler"]

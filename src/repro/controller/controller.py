@@ -1,0 +1,294 @@
+"""FR-FCFS memory controller with command-accurate latency composition.
+
+The controller services one request *atomically*: when a request is
+selected it computes the (PRE,) ACT, RD command times and the completion
+time in one step, honoring per-bank timing constraints, the shared data
+bus, and any blocking intervals (periodic refresh, RFM commands, PRAC
+back-off recovery) that defenses or the refresh scheduler installed by
+extending ``BankState.busy_until``.
+
+This models the same latency *structure* as a per-cycle DRAM simulator
+for the quantities the paper measures -- the latency gaps between row
+hits, row conflicts, refreshes and preventive actions -- at a tiny
+fraction of the cost, which is what makes the reproduction feasible in
+pure Python.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.dram.address import AddressMapper, Coord
+from repro.dram.bank import BankState
+from repro.sim.config import SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import BlockInterval, BlockKind, MemoryStats
+
+
+class Request:
+    """One memory request (a 64-byte read or write)."""
+
+    __slots__ = ("addr", "coord", "is_write", "arrive", "callback", "seq",
+                 "start_service", "complete", "kind")
+
+    def __init__(self, addr: int, coord: Coord, is_write: bool, arrive: int,
+                 callback: Callable[["Request"], None], seq: int) -> None:
+        self.addr = addr
+        self.coord = coord
+        self.is_write = is_write
+        self.arrive = arrive
+        self.callback = callback
+        self.seq = seq
+        self.start_service: int | None = None
+        self.complete: int | None = None
+        #: "hit" | "miss" | "conflict", filled at service time.
+        self.kind: str | None = None
+
+    @property
+    def latency(self) -> int:
+        """Queue + service latency (ps); valid after completion."""
+        if self.complete is None:
+            raise RuntimeError("request not complete yet")
+        return self.complete - self.arrive
+
+
+class MemoryController:
+    """Single-channel FR-FCFS memory controller."""
+
+    def __init__(self, sim: Simulator, config: SystemConfig,
+                 mapper: AddressMapper, stats: MemoryStats) -> None:
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.timing = config.timing
+        self.org = config.org
+        self.mapper = mapper
+        self.stats = stats
+        self.banks: list[list[BankState]] = [
+            [BankState(r, b) for b in range(self.org.banks_per_rank)]
+            for r in range(self.org.ranks)
+        ]
+        self.defense = _NullDefense()
+        self._queue: deque[Request] = deque()
+        self._backlog: deque[Request] = deque()
+        #: In-flight data-bus reservations as (start, end), kept sorted
+        #: by start.  A burst takes the earliest gap at or after its
+        #: ready time, so a short row-hit transfer is not serialized
+        #: behind the full PRE+ACT+RD pipeline of an earlier-scheduled
+        #: request to a different bank.
+        self._bus_reservations: list[tuple[int, int]] = []
+        self._next_seq = 0
+        self._wake_at: int | None = None
+        self.queue_high_water = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def attach_defense(self, defense) -> None:
+        """Install a RowHammer defense (see :mod:`repro.defenses`)."""
+        self.defense = defense
+
+    def submit(self, addr: int, callback: Callable[[Request], None],
+               is_write: bool = False) -> Request:
+        """Enqueue a request; ``callback(request)`` fires at completion."""
+        coord = self.mapper.decode(addr)
+        req = Request(addr, coord, is_write, self.sim.now, callback,
+                      self._next_seq)
+        self._next_seq += 1
+        if len(self._queue) >= self.config.queue_size:
+            self._backlog.append(req)
+        else:
+            self._queue.append(req)
+        depth = len(self._queue) + len(self._backlog)
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+        # Defer scheduling decisions to an immediate event so requests
+        # submitted at the same instant are considered together (a hit
+        # arriving "simultaneously" with a conflict must win FR-FCFS).
+        self._schedule_wake(self.sim.now)
+        return req
+
+    def bank(self, rank: int, flat_id: int) -> BankState:
+        return self.banks[rank][flat_id]
+
+    def block_banks(self, rank: int, bank_ids: frozenset[int] | None,
+                    start: int, duration: int, kind: BlockKind,
+                    close: bool = True, align_to_busy: bool = True) -> int:
+        """Block a set of banks (``None`` = whole rank) for ``duration``.
+
+        With ``align_to_busy`` the block begins only after in-flight
+        services on the affected banks drain (how REF/RFM wait for
+        precharge); without it the block starts exactly at ``start``
+        (FR-RFM's fixed-slot semantics).  Returns the actual block end.
+        """
+        bank_list = self.banks[rank]
+        affected = (bank_list if bank_ids is None
+                    else [bank_list[b] for b in bank_ids])
+        if align_to_busy:
+            for b in affected:
+                if b.busy_until > start:
+                    start = b.busy_until
+        end = start + duration
+        for b in affected:
+            b.block_until(end)
+            if close:
+                b.close()
+        self.stats.record_block(
+            BlockInterval(kind=kind, start=start, end=end, rank=rank,
+                          banks=bank_ids))
+        self._schedule_wake(end)
+        return end
+
+    @property
+    def queued_requests(self) -> int:
+        return len(self._queue) + len(self._backlog)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _schedule_wake(self, at: int) -> None:
+        if at < self.sim.now:
+            at = self.sim.now
+        if self._wake_at is not None and self._wake_at <= at:
+            return
+        self._wake_at = at
+        self.sim.schedule_at(at, self._on_wake)
+
+    def _on_wake(self) -> None:
+        self._wake_at = None
+        self._wake()
+
+    def _wake(self) -> None:
+        """Issue every request whose commands can start now; then sleep
+        until the earliest future start among the remaining requests."""
+        now = self.sim.now
+        while self._queue:
+            req, start = self._select(now)
+            if start > now:
+                self._schedule_wake(start)
+                return
+            self._service(req, now)
+            if self._backlog:
+                self._queue.append(self._backlog.popleft())
+
+    def _select(self, now: int) -> tuple[Request, int]:
+        """FR-FCFS: earliest-startable first; among those, row hits under
+        the column cap beat older conflicting requests; ties by age."""
+        cap = self.config.column_cap
+        banks = self.banks
+        best = None
+        best_key = None
+        for req in self._queue:
+            coord = req.coord
+            bank = banks[coord.rank][coord.bankgroup
+                                     * self.org.banks_per_group + coord.bank]
+            start = bank.busy_until
+            if start < now:
+                start = now
+            is_hit = bank.open_row == coord.row
+            favored_hit = is_hit and bank.hit_streak < cap
+            key = (start, not favored_hit, req.seq)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = req
+        assert best is not None and best_key is not None
+        return best, best_key[0]
+
+    # ------------------------------------------------------------------
+    # Service
+    # ------------------------------------------------------------------
+    def _service(self, req: Request, now: int) -> None:
+        self._queue.remove(req)
+        t = self.timing
+        coord = req.coord
+        flat = coord.bankgroup * self.org.banks_per_group + coord.bank
+        bank = self.banks[coord.rank][flat]
+        stats = self.stats
+        defense = self.defense
+
+        start = bank.busy_until
+        if start < now:
+            start = now
+        req.start_service = start
+
+        if bank.open_row == coord.row:
+            req.kind = "hit"
+            stats.row_hits += 1
+            bank.hit_streak += 1
+            rd = start
+        elif bank.open_row is None:
+            req.kind = "miss"
+            stats.row_misses += 1
+            act = start
+            min_act = bank.act_time + t.tRC
+            if act < min_act:
+                act = min_act
+            self._do_activate(bank, coord.row, act)
+            rd = act + t.tRCD
+        else:
+            req.kind = "conflict"
+            stats.row_conflicts += 1
+            pre = start
+            min_pre = bank.act_time + t.tRAS
+            if pre < min_pre:
+                pre = min_pre
+            closed_row = bank.open_row
+            bank.close()
+            stats.precharges += 1
+            defense.on_precharge(coord.rank, flat, closed_row, pre)
+            act = pre + t.tRP
+            self._do_activate(bank, coord.row, act)
+            rd = act + t.tRCD
+
+        data_start = self._reserve_bus(rd + t.tCL, t.tBL)
+        done = data_start + t.tBL
+        if bank.busy_until < rd + t.tBL:
+            bank.busy_until = rd + t.tBL
+
+        if req.is_write:
+            stats.writes += 1
+        else:
+            stats.reads += 1
+        stats.requests_served += 1
+        req.complete = done
+        self.sim.schedule_at(done, lambda r=req: r.callback(r))
+
+    def _reserve_bus(self, earliest: int, duration: int) -> int:
+        """Book the earliest bus slot of ``duration`` at or after
+        ``earliest``; returns the slot's start time."""
+        reservations = self._bus_reservations
+        now = self.sim.now
+        if reservations and reservations[0][1] <= now:
+            self._bus_reservations = reservations = [
+                r for r in reservations if r[1] > now]
+        start = earliest
+        insert_at = len(reservations)
+        for i, (res_start, res_end) in enumerate(reservations):
+            if start + duration <= res_start:
+                insert_at = i
+                break
+            if res_end > start:
+                start = res_end
+        reservations.insert(insert_at, (start, start + duration))
+        return start
+
+    def _do_activate(self, bank: BankState, row: int, act: int) -> None:
+        bank.open_row = row
+        bank.act_time = act
+        bank.hit_streak = 1
+        self.stats.activations += 1
+        self.defense.on_activate(bank.rank, bank.flat_id, row, act)
+
+
+class _NullDefense:
+    """Default no-op defense installed before :meth:`attach_defense`."""
+
+    def on_activate(self, rank: int, bank: int, row: int, t: int) -> None:
+        pass
+
+    def on_precharge(self, rank: int, bank: int, row: int, t: int) -> None:
+        pass
+
+    def on_refresh(self, rank: int, t: int) -> None:
+        pass

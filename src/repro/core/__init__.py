@@ -1,0 +1,49 @@
+"""LeakyHammer: RowHammer-defense-based timing attacks (the paper's core).
+
+The attack primitives:
+
+* :mod:`repro.core.capacity` -- channel-capacity math (Eq. 1) and the
+  noise-intensity model (Eq. 2);
+* :mod:`repro.core.probe` -- latency classification turning raw
+  measurement deltas into hit / conflict / refresh / RFM / back-off
+  events (Section 6.2, Fig. 2);
+* :mod:`repro.core.prac_channel` -- the PRAC-based covert channel,
+  binary and multibit (Section 6);
+* :mod:`repro.core.rfm_channel` -- the Periodic-RFM-based covert
+  channel (Section 7);
+* :mod:`repro.core.fingerprint` -- the website-fingerprinting side
+  channel (Section 8);
+* :mod:`repro.core.counter_leak` -- the activation-counter-value leak
+  (Section 9.1);
+* :mod:`repro.core.leakage_model` -- the Table 3 information-leakage
+  matrix, demonstrated by micro-simulations.
+"""
+
+from repro.core.capacity import (
+    binary_entropy,
+    channel_capacity_bps,
+    error_probability,
+)
+from repro.core.probe import EventKind, LatencyClassifier
+from repro.core.covert import TransmissionResult
+from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
+from repro.core.rfm_channel import RfmChannelConfig, RfmCovertChannel
+from repro.core.fingerprint import FingerprintConfig, WebsiteFingerprinter
+from repro.core.counter_leak import CounterLeakAttack, CounterLeakConfig
+
+__all__ = [
+    "binary_entropy",
+    "channel_capacity_bps",
+    "error_probability",
+    "EventKind",
+    "LatencyClassifier",
+    "TransmissionResult",
+    "PracChannelConfig",
+    "PracCovertChannel",
+    "RfmChannelConfig",
+    "RfmCovertChannel",
+    "FingerprintConfig",
+    "WebsiteFingerprinter",
+    "CounterLeakAttack",
+    "CounterLeakConfig",
+]

@@ -1,0 +1,49 @@
+"""Channel-capacity metrics (paper Section 5.2, Eq. 1).
+
+    ChannelCapacity = RawBitRate x (1 - H(e))
+    H(e) = -e log2(e) - (1-e) log2(1-e)
+
+where ``e`` is the fraction of erroneous bits (or symbols, for the
+multibit channels -- the paper applies the same binary-entropy form to
+its ternary/quaternary error probabilities).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.sim.engine import SEC
+
+
+def binary_entropy(e: float) -> float:
+    """H(e) in bits; defined as 0 at e = 0 and e = 1."""
+    if not 0.0 <= e <= 1.0:
+        raise ValueError("error probability must be within [0, 1]")
+    if e == 0.0 or e == 1.0:
+        return 0.0
+    return -e * math.log2(e) - (1.0 - e) * math.log2(1.0 - e)
+
+
+def channel_capacity_bps(raw_bit_rate_bps: float, e: float) -> float:
+    """Eq. 1: capacity of a binary-symmetric channel at raw rate & error."""
+    if raw_bit_rate_bps < 0:
+        raise ValueError("raw bit rate must be non-negative")
+    return raw_bit_rate_bps * (1.0 - binary_entropy(e))
+
+
+def error_probability(sent: Sequence[int], received: Sequence[int]) -> float:
+    """Fraction of symbol positions that decoded incorrectly."""
+    if len(sent) != len(received):
+        raise ValueError("sent and received must have equal length")
+    if not sent:
+        raise ValueError("cannot compute error probability of empty message")
+    errors = sum(1 for s, r in zip(sent, received) if s != r)
+    return errors / len(sent)
+
+
+def raw_bit_rate_bps(window_ps: int, bits_per_symbol: float) -> float:
+    """Raw bit rate of a window-synchronized channel (one symbol/window)."""
+    if window_ps <= 0:
+        raise ValueError("window must be positive")
+    return bits_per_symbol * SEC / window_ps

@@ -1,0 +1,193 @@
+"""The PRAC-based website-fingerprinting side channel (paper Section 8).
+
+The attacker runs the Listing-2 routine: it allocates N test rows,
+accesses each row T < N_BO times (so the routine itself never triggers
+a back-off) while timestamping continuously, and records the back-offs
+*other* processes -- the victim's browser -- cause.  Because PRAC
+back-offs stall the whole channel, the attacker's rows need not share
+a bank with the browser's data.
+
+A captured trace becomes a *fingerprint*: back-off timestamps over the
+load's execution time.  Features follow the paper: per-execution-window
+back-off counts (the Fig. 9 strips) plus, for consecutive back-off
+pairs, (i) the time between the two signals, (ii) the gap from the
+previous pair, and (iii) the pair's mean timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
+from repro.core.probe import EventKind, LatencyClassifier
+from repro.cpu.agent import run_agents
+from repro.cpu.app import SyntheticAppAgent, spec_like_app
+from repro.cpu.probe import LatencyProbe
+from repro.cpu.trace import TraceReplayAgent
+from repro.sim.config import DefenseKind, DefenseParams, SystemConfig
+from repro.sim.engine import MS, US
+from repro.system import MemorySystem
+from repro.workloads.websites import WebsiteCatalog, WebsiteProfile
+
+#: Probe placement: a bank the synthetic browser phases rarely use for
+#: long (any bank works -- back-offs are channel-wide).
+PROBE_BANK = (7, 3)
+PROBE_FIRST_ROW = 1024
+
+
+@dataclass(frozen=True)
+class FingerprintConfig:
+    """Parameters of the fingerprinting attack."""
+
+    #: PRAC back-off threshold; the paper evaluates the side channel at
+    #: N_RH = 64, i.e., a low threshold browsers trip naturally.
+    nbo: int = 32
+    duration_ps: int = 2 * MS  #: simulated load duration per trace
+    #: Test rows of the Listing-2 routine.  Enough rows that revisits
+    #: (plus refresh-induced re-activations) stay below N_BO over the
+    #: capture duration -- the paper's "allocate each test row fully or
+    #: reduce T" interference note.
+    n_probe_rows: int = 64
+    n_windows: int = 16  #: execution windows for the count features
+    n_pairs: int = 6  #: consecutive back-off pairs in the feature vector
+    seed: int = 3
+    spec_noise: str | None = None  #: co-running SPEC class, e.g. 'H'
+    #: Route the browser's accesses through a cache hierarchy (Section
+    #: 10.3: the LLC filters accesses, the prefetcher adds traffic).
+    hierarchy: "HierarchyConfig | None" = None
+
+
+@dataclass
+class FingerprintTrace:
+    """One captured fingerprint."""
+
+    website: str
+    duration_ps: int
+    backoff_times: list[int] = field(default_factory=list)
+    n_samples: int = 0
+    ground_truth_backoffs: int = 0
+
+    def window_counts(self, n_windows: int) -> np.ndarray:
+        """The Fig. 9 strip: back-offs per execution window."""
+        counts = np.zeros(n_windows, dtype=float)
+        width = self.duration_ps / n_windows
+        for t in self.backoff_times:
+            idx = min(int(t / width), n_windows - 1)
+            counts[idx] += 1
+        return counts
+
+    def features(self, n_windows: int, n_pairs: int) -> np.ndarray:
+        """Fixed-length feature vector (windows + pair features + stats)."""
+        parts = [self.window_counts(n_windows)]
+        times = np.asarray(self.backoff_times, dtype=float) / US
+        pair_feats = np.full(3 * n_pairs, -1.0)
+        for i in range(min(n_pairs, max(0, len(times) - 1))):
+            first, second = times[i], times[i + 1]
+            within = second - first
+            prev_end = times[i] if i == 0 else times[i]
+            gap_prev = first - (times[i - 1] if i > 0 else 0.0)
+            pair_feats[3 * i] = within
+            pair_feats[3 * i + 1] = gap_prev
+            pair_feats[3 * i + 2] = (first + second) / 2.0
+        parts.append(pair_feats)
+        gaps = np.diff(times) if len(times) > 1 else np.array([0.0])
+        parts.append(np.array([
+            float(len(times)),
+            float(times[0]) if len(times) else -1.0,
+            float(times[-1]) if len(times) else -1.0,
+            float(gaps.mean()),
+            float(gaps.std()),
+        ]))
+        return np.concatenate(parts)
+
+
+class WebsiteFingerprinter:
+    """Capture fingerprints and build classification datasets."""
+
+    def __init__(self, cfg: FingerprintConfig | None = None) -> None:
+        self.cfg = cfg if cfg is not None else FingerprintConfig()
+
+    # ------------------------------------------------------------------
+    def system_config(self) -> SystemConfig:
+        return SystemConfig(
+            defense=DefenseParams(kind=DefenseKind.PRAC, nbo=self.cfg.nbo,
+                                  seed=self.cfg.seed),
+            seed=self.cfg.seed)
+
+    def capture(self, profile: WebsiteProfile,
+                trace_seed: int) -> FingerprintTrace:
+        """Simulate one browser load concurrently with the probe."""
+        cfg = self.cfg
+        system = MemorySystem(self.system_config())
+        classifier = LatencyClassifier(system.config)
+        mapper = system.mapper
+        bg, bank = PROBE_BANK
+        probe_addrs = [
+            mapper.encode(bankgroup=bg, bank=bank,
+                          row=PROBE_FIRST_ROW + 8 * i)
+            for i in range(cfg.n_probe_rows)
+        ]
+        # Listing 2: T accesses per row with T below the back-off
+        # threshold so the probe never triggers preventive actions.
+        probe = LatencyProbe(system, probe_addrs, name="fingerprint-probe",
+                             accesses_per_addr=max(1, cfg.nbo - 1),
+                             stop_time=cfg.duration_ps)
+        browser_trace = profile.trace(cfg.duration_ps, trace_seed, mapper)
+        if cfg.hierarchy is not None:
+            browser_trace = self._filter_through_caches(browser_trace)
+        browser = TraceReplayAgent(system, browser_trace, name="browser")
+        agents = [probe, browser]
+        if cfg.spec_noise is not None:
+            banks = tuple((g, b) for g in range(4) for b in range(2))
+            spec = spec_like_app(cfg.spec_noise, "spec-noise",
+                                 seed=cfg.seed + trace_seed, banks=banks,
+                                 n_requests=10 ** 9)
+            agents.append(SyntheticAppAgent(system, spec,
+                                            stop_time=cfg.duration_ps))
+        run_agents(system, agents, hard_limit=cfg.duration_ps + 500 * US)
+
+        backoffs = [
+            min(max(s.end_time - s.delta // 2, 0), cfg.duration_ps)
+            for s in probe.samples
+            if classifier.classify(s.delta) is EventKind.BACKOFF
+        ]
+        return FingerprintTrace(
+            website=profile.name, duration_ps=cfg.duration_ps,
+            backoff_times=backoffs, n_samples=len(probe.samples),
+            ground_truth_backoffs=system.stats.backoffs)
+
+    def _filter_through_caches(self, trace: list[tuple[int, int]]
+                               ) -> list[tuple[int, int]]:
+        """Section 10.3: the browser's DRAM traffic after a larger
+        cache hierarchy -- LLC hits are filtered out, Best-Offset
+        prefetches are injected as extra DRAM fetches."""
+        hierarchy = CacheHierarchy(self.cfg.hierarchy)
+        filtered: list[tuple[int, int]] = []
+        for offset, addr in trace:
+            outcome = hierarchy.access(addr)
+            for fetch in outcome.dram_addresses:
+                filtered.append((offset, fetch))
+                hierarchy.fill(fetch, prefetch=fetch != addr)
+        return filtered
+
+    # ------------------------------------------------------------------
+    def collect_dataset(self, catalog: WebsiteCatalog,
+                        traces_per_site: int
+                        ) -> tuple[np.ndarray, np.ndarray, list[str]]:
+        """Capture ``traces_per_site`` fingerprints per website.
+
+        Returns (features X, integer labels y, label names).
+        """
+        cfg = self.cfg
+        features = []
+        labels = []
+        for label, profile in enumerate(catalog):
+            for t in range(traces_per_site):
+                trace = self.capture(profile, trace_seed=t + 1)
+                features.append(trace.features(cfg.n_windows, cfg.n_pairs))
+                labels.append(label)
+        X = np.vstack(features)
+        y = np.asarray(labels, dtype=int)
+        return X, y, catalog.names

@@ -1,0 +1,221 @@
+"""The PRAC-based covert channel (paper Section 6).
+
+Binary mode encodes logic-1 as "back-off observed in the window" and
+logic-0 as "no back-off": the sender hammers its private row, creating
+row-buffer conflicts with the receiver's accesses so both rows'
+activation counters climb to the back-off threshold; the receiver
+detects the resulting ~1.4 us stall in its continuously-timed access
+loop.  Multibit mode (ternary/quaternary) modulates the *rate* of the
+sender's accesses so the receiver can decode the symbol from how many
+of its own accesses complete before the back-off arrives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.covert import (
+    TransmissionResult,
+    WindowObservation,
+    WindowedReceiver,
+    WindowedSender,
+    bits_per_symbol,
+)
+from repro.core.probe import EventKind, LatencyClassifier
+from repro.cpu.agent import run_agents
+from repro.cpu.app import SyntheticAppAgent, spec_like_app
+from repro.cpu.noise import NoiseAgent
+from repro.sim.config import (
+    DefenseKind,
+    DefenseParams,
+    RefreshPolicy,
+    SystemConfig,
+)
+from repro.sim.engine import NS, US
+from repro.sim.stats import BlockKind
+from repro.system import MemorySystem
+from repro.workloads.patterns import bits_from_text
+
+
+@dataclass(frozen=True)
+class PracChannelConfig:
+    """Configuration of one PRAC covert-channel instance."""
+
+    window_ps: int = 25 * US  #: transmission window (paper: 25 us)
+    nbo: int = 128  #: PRAC back-off threshold (paper assumption)
+    n_rfms: int = 4  #: RFMs per back-off (Fig. 11 sweeps 1/2/4)
+    levels: int = 2  #: symbol alphabet size (2/3/4; Section 6.3 multibit)
+    seed: int = 7
+    epoch: int = 2 * US  #: wall-clock start of window 0
+    noise_intensity: float | None = None  #: Eq. 2 microbenchmark level
+    spec_class: str | None = None  #: 'L'/'M'/'H' co-running application
+    backoff_latency_override: int | None = None  #: Fig. 12 sweep
+    refresh_policy: RefreshPolicy = RefreshPolicy.POSTPONE_PAIR
+    resolution_ps: int | None = None  #: classifier measurement resolution
+    #: PRAC-family defense under attack (Section 11.4 evaluates the
+    #: channel against PRAC-RIAC and Bank-Level PRAC).
+    defense_kind: DefenseKind = DefenseKind.PRAC
+    #: On-chip latency override (Section 10.3's larger hierarchy).
+    frontend_latency_override: int | None = None
+    #: Receiver measurement jitter (Section 5.1 real-system noise);
+    #: the Fig. 11 methodology uses this to model the latency-overlap
+    #: confusion between short back-offs and periodic refreshes.
+    measurement_jitter_ps: int = 0
+    #: extra sleep per sender access for each symbol; ``None`` = idle.
+    gap_table: dict[int, int | None] = field(default_factory=dict)
+
+    def gaps(self) -> dict[int, int | None]:
+        """Sender rate table for the configured alphabet."""
+        if self.gap_table:
+            return dict(self.gap_table)
+        if self.levels == 2:
+            return {0: None, 1: 0}
+        if self.levels == 3:
+            return {0: None, 1: 40 * NS, 2: 0}
+        if self.levels == 4:
+            return {0: None, 1: 80 * NS, 2: 40 * NS, 3: 0}
+        raise ValueError("levels must be 2, 3, or 4 (or pass gap_table)")
+
+
+#: DRAM placement of the attack (all in one bank of bankgroup 0).
+SENDER_ROW = 0
+RECEIVER_ROW = 8
+NOISE_ROWS = (16, 24)
+ATTACK_BANK = (0, 0)  #: (bankgroup, bank)
+
+
+class PracCovertChannel:
+    """Driver building the system, running one transmission, decoding."""
+
+    def __init__(self, cfg: PracChannelConfig | None = None) -> None:
+        self.cfg = cfg if cfg is not None else PracChannelConfig()
+        self._calibration: list[float] | None = None
+
+    # ------------------------------------------------------------------
+    def system_config(self) -> SystemConfig:
+        cfg = self.cfg
+        if cfg.defense_kind not in (DefenseKind.PRAC, DefenseKind.PRAC_RIAC,
+                                    DefenseKind.PRAC_BANK):
+            raise ValueError("PRAC channel requires a PRAC-family defense")
+        defense = DefenseParams(
+            kind=cfg.defense_kind, nbo=cfg.nbo, n_rfms=cfg.n_rfms,
+            backoff_latency_override=cfg.backoff_latency_override,
+            seed=cfg.seed)
+        base = SystemConfig(defense=defense,
+                            refresh_policy=cfg.refresh_policy,
+                            seed=cfg.seed)
+        if cfg.frontend_latency_override is not None:
+            base = base.with_(frontend_latency=cfg.frontend_latency_override)
+        return base
+
+    def _build(self, symbols: list[int], noise_intensity: float | None,
+               spec_class: str | None):
+        cfg = self.cfg
+        system = MemorySystem(self.system_config())
+        classifier = LatencyClassifier(system.config,
+                                       resolution_ps=cfg.resolution_ps)
+        bg, bank = ATTACK_BANK
+        mapper = system.mapper
+        sender_addr = mapper.encode(bankgroup=bg, bank=bank, row=SENDER_ROW)
+        receiver_addr = mapper.encode(bankgroup=bg, bank=bank,
+                                      row=RECEIVER_ROW)
+        end = cfg.epoch + len(symbols) * cfg.window_ps
+
+        sender = WindowedSender(system, sender_addr, symbols, cfg.epoch,
+                                cfg.window_ps, self.cfg.gaps(), classifier)
+        receiver = WindowedReceiver(system, receiver_addr, len(symbols),
+                                    cfg.epoch, cfg.window_ps, classifier,
+                                    sleep_on_backoff=True)
+        receiver.jitter_ps = cfg.measurement_jitter_ps
+        agents = [sender, receiver]
+        if noise_intensity is not None:
+            noise_addrs = [mapper.encode(bankgroup=bg, bank=bank, row=r)
+                           for r in NOISE_ROWS]
+            agents.append(NoiseAgent.for_intensity(
+                system, noise_addrs, noise_intensity, stop_time=end))
+        if spec_class is not None:
+            org = system.config.org
+            banks = tuple((g, b) for g in range(org.bankgroups)
+                          for b in range(org.banks_per_group))
+            spec = spec_like_app(spec_class, f"spec-{spec_class}",
+                                 seed=cfg.seed + 11, banks=banks,
+                                 n_requests=10 ** 9)
+            agents.append(SyntheticAppAgent(system, spec, stop_time=end))
+        return system, classifier, sender, receiver, agents, end
+
+    # ------------------------------------------------------------------
+    def transmit(self, symbols: list[int]) -> TransmissionResult:
+        """Run one transmission of ``symbols`` and decode the message."""
+        cfg = self.cfg
+        for s in symbols:
+            if not 0 <= s < cfg.levels:
+                raise ValueError(f"symbol {s} outside alphabet")
+        system, _, _, receiver, agents, end = self._build(
+            symbols, cfg.noise_intensity, cfg.spec_class)
+        run_agents(system, agents, hard_limit=end + 200 * US)
+        decoded = self._decode(receiver)
+        windows = [
+            WindowObservation(
+                index=k, sent=symbols[k], decoded=decoded[k],
+                backoffs=receiver.events_of(k, EventKind.BACKOFF),
+                refreshes=receiver.events_of(k, EventKind.REFRESH),
+                samples=receiver.window_samples[k],
+                count_to_backoff=receiver.count_to_backoff[k])
+            for k in range(len(symbols))
+        ]
+        blocks = system.stats.blocks_in(cfg.epoch, end)
+        return TransmissionResult(
+            sent=list(symbols), decoded=decoded, window_ps=cfg.window_ps,
+            bits_per_symbol=bits_per_symbol(cfg.levels), windows=windows,
+            ground_truth_backoffs=sum(
+                1 for b in blocks if b.kind is BlockKind.BACKOFF),
+            ground_truth_rfms=sum(
+                1 for b in blocks if b.kind is BlockKind.RFM))
+
+    def transmit_text(self, text: str) -> TransmissionResult:
+        """Binary-mode convenience: transmit the ASCII bits of ``text``."""
+        if self.cfg.levels != 2:
+            raise ValueError("transmit_text requires a binary channel")
+        return self.transmit(bits_from_text(text))
+
+    # ------------------------------------------------------------------
+    def _decode(self, receiver: WindowedReceiver) -> list[int]:
+        if self.cfg.levels == 2:
+            return [1 if receiver.events_of(k, EventKind.BACKOFF) else 0
+                    for k in range(receiver.n_windows)]
+        centers = self._calibrated_centers()
+        decoded = []
+        for k in range(receiver.n_windows):
+            offset = receiver.time_to_backoff[k]
+            if offset is None:
+                decoded.append(0)
+                continue
+            best = min(range(len(centers)),
+                       key=lambda i: abs(offset - centers[i]))
+            decoded.append(best + 1)
+        return decoded
+
+    def _calibrated_centers(self) -> list[float]:
+        """Expected first-back-off offset within the window per nonzero
+        symbol, measured once over a noiseless pilot transmission (the
+        sender's rate sets when the activation counters cross N_BO, so
+        the back-off arrival time encodes the symbol)."""
+        if self._calibration is not None:
+            return self._calibration
+        cfg = self.cfg
+        pilot_channel = PracCovertChannel(
+            replace(cfg, noise_intensity=None, spec_class=None))
+        centers: list[float] = []
+        for symbol in range(1, cfg.levels):
+            pilot = [symbol] * 4
+            system, _, _, receiver, agents, end = pilot_channel._build(
+                pilot, None, None)
+            run_agents(system, agents, hard_limit=end + 200 * US)
+            offsets = [t for t in receiver.time_to_backoff if t is not None]
+            if not offsets:
+                raise RuntimeError(
+                    f"calibration failed: symbol {symbol} never produced "
+                    "a back-off; widen the window or change gaps")
+            centers.append(sum(offsets) / len(offsets))
+        self._calibration = centers
+        return centers

@@ -1,0 +1,138 @@
+"""Latency classification: turning raw timing samples into events.
+
+A userspace attacker sees only per-iteration wall-clock deltas.  The
+paper (Section 6.2, Fig. 2) shows these cluster into separable levels:
+row hits, row-buffer conflicts, periodic refreshes, RFM commands and
+PRAC back-offs.  :class:`LatencyClassifier` derives the expected level
+for each event kind from the system configuration and classifies each
+sample by nearest level -- subject to a measurement-resolution guard:
+two levels closer than the timer resolution are indistinguishable,
+which is exactly why Fig. 12 finds the channel survives down to (but
+not below) ~10 ns of preventive-action latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.cpu.probe import LatencySample
+from repro.sim.config import DefenseKind, RefreshPolicy, SystemConfig
+from repro.sim.engine import NS
+
+
+class EventKind(enum.Enum):
+    """What a latency sample reveals about the memory system."""
+
+    HIT = "hit"
+    CONFLICT = "conflict"
+    REFRESH = "refresh"
+    RFM = "rfm"
+    BACKOFF = "backoff"
+
+    @property
+    def is_preventive(self) -> bool:
+        return self in (EventKind.RFM, EventKind.BACKOFF)
+
+
+@dataclass(frozen=True)
+class LatencyLevel:
+    """One expected latency level."""
+
+    kind: EventKind
+    delta_ps: int
+
+
+class LatencyClassifier:
+    """Nearest-level classifier over configuration-derived latencies."""
+
+    #: Default timer/measurement resolution: levels closer than this are
+    #: indistinguishable from userspace (pipeline + timer jitter).
+    DEFAULT_RESOLUTION_PS = 10 * NS
+
+    def __init__(self, config: SystemConfig,
+                 resolution_ps: int | None = None) -> None:
+        self.config = config
+        self.resolution_ps = (resolution_ps if resolution_ps is not None
+                              else self.DEFAULT_RESOLUTION_PS)
+        self.levels = self._build_levels(config)
+
+    # ------------------------------------------------------------------
+    def _build_levels(self, config: SystemConfig) -> list[LatencyLevel]:
+        t = config.timing
+        base = config.frontend_latency + config.loop_overhead
+        hit = base + t.tCL + t.tBL
+        conflict = base + t.tRP + t.tRCD + t.tCL + t.tBL
+        levels = [LatencyLevel(EventKind.HIT, hit),
+                  LatencyLevel(EventKind.CONFLICT, conflict)]
+
+        policy = config.refresh_policy
+        if policy is not RefreshPolicy.NONE:
+            ref_block = (t.tRFC if policy is RefreshPolicy.EVERY_TREFI
+                         else 2 * t.tRFC)
+            levels.append(LatencyLevel(EventKind.REFRESH,
+                                       conflict + ref_block))
+
+        kind = config.defense.kind
+        if kind is DefenseKind.PRFM:
+            levels.append(LatencyLevel(EventKind.RFM, conflict + t.tRFM_SB))
+        elif kind is DefenseKind.FRRFM:
+            levels.append(LatencyLevel(EventKind.RFM, conflict + t.tRFM_AB))
+        if kind in (DefenseKind.PRAC, DefenseKind.PRAC_RIAC,
+                    DefenseKind.PRAC_BANK):
+            override = config.defense.backoff_latency_override
+            blocking = (override if override is not None
+                        else config.defense.n_rfms * t.tRFM_AB)
+            levels.append(LatencyLevel(EventKind.BACKOFF,
+                                       conflict + blocking))
+        return sorted(levels, key=lambda lv: lv.delta_ps)
+
+    def level_of(self, kind: EventKind) -> int:
+        """Expected delta of an event kind (raises if not modeled)."""
+        for level in self.levels:
+            if level.kind is kind:
+                return level.delta_ps
+        raise KeyError(f"no {kind} level under this configuration")
+
+    # ------------------------------------------------------------------
+    def classify(self, delta_ps: int) -> EventKind:
+        """Assign a sample to the nearest distinguishable level.
+
+        A level is indistinguishable from the next-lower one when their
+        separation is below the measurement resolution; such samples
+        are attributed to the lower (more common, less informative)
+        level -- the attacker cannot tell them apart.
+        """
+        best = self.levels[0]
+        best_dist = abs(delta_ps - best.delta_ps)
+        for level in self.levels[1:]:
+            dist = abs(delta_ps - level.delta_ps)
+            if dist < best_dist:
+                best = level
+                best_dist = dist
+        # Resolution guard: degrade to the closest lower level when the
+        # chosen one is not separable from it.
+        idx = self.levels.index(best)
+        while idx > 0 and (self.levels[idx].delta_ps
+                           - self.levels[idx - 1].delta_ps
+                           < self.resolution_ps):
+            idx -= 1
+        return self.levels[idx].kind
+
+    def classify_sample(self, sample: LatencySample) -> EventKind:
+        return self.classify(sample.delta)
+
+    # -- convenience predicates used by attack loops -------------------
+    def is_backoff(self, delta_ps: int) -> bool:
+        return self.classify(delta_ps) is EventKind.BACKOFF
+
+    def is_preventive(self, delta_ps: int) -> bool:
+        return self.classify(delta_ps).is_preventive
+
+    def histogram(self, deltas: list[int]) -> dict[EventKind, int]:
+        """Event-kind histogram over a list of measured deltas."""
+        out: dict[EventKind, int] = {}
+        for delta in deltas:
+            kind = self.classify(delta)
+            out[kind] = out.get(kind, 0) + 1
+        return out

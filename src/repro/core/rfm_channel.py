@@ -1,0 +1,148 @@
+"""The Periodic-RFM-based covert channel (paper Section 7).
+
+PRFM's per-bank activation counters are noisy (every access to the bank
+increments them), so the sender transmits each bit with *many* RFMs: to
+send logic-1 it hammers its row for the whole window, driving the bank
+counter past T_RFM several times; the receiver counts RFM-latency
+events in its timed loop and compares against a threshold T_recv.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.covert import (
+    TransmissionResult,
+    WindowObservation,
+    WindowedReceiver,
+    WindowedSender,
+)
+from repro.core.probe import EventKind, LatencyClassifier
+from repro.cpu.agent import run_agents
+from repro.cpu.app import SyntheticAppAgent, spec_like_app
+from repro.cpu.noise import NoiseAgent
+from repro.sim.config import (
+    DefenseKind,
+    DefenseParams,
+    RefreshPolicy,
+    SystemConfig,
+)
+from repro.sim.engine import US
+from repro.sim.stats import BlockKind
+from repro.system import MemorySystem
+from repro.workloads.patterns import bits_from_text
+
+from repro.core.prac_channel import (
+    ATTACK_BANK,
+    NOISE_ROWS,
+    RECEIVER_ROW,
+    SENDER_ROW,
+)
+
+
+@dataclass(frozen=True)
+class RfmChannelConfig:
+    """Configuration of one RFM covert-channel instance."""
+
+    window_ps: int = 20 * US  #: transmission window (paper: 20 us)
+    trfm: int = 40  #: bank activation threshold (paper assumption)
+    trecv: int = 3  #: receiver decision threshold (paper: 3)
+    seed: int = 7
+    epoch: int = 2 * US
+    noise_intensity: float | None = None
+    spec_class: str | None = None
+    refresh_policy: RefreshPolicy = RefreshPolicy.POSTPONE_PAIR
+    resolution_ps: int | None = None
+    #: RFM-issuing defense under attack; Section 11.4 evaluates the
+    #: channel against FR-RFM (whose fixed schedule defeats it).
+    defense_kind: DefenseKind = DefenseKind.PRFM
+    frontend_latency_override: int | None = None
+
+
+class RfmCovertChannel:
+    """Driver for the PRFM-based covert channel."""
+
+    def __init__(self, cfg: RfmChannelConfig | None = None) -> None:
+        self.cfg = cfg if cfg is not None else RfmChannelConfig()
+
+    # ------------------------------------------------------------------
+    def system_config(self) -> SystemConfig:
+        cfg = self.cfg
+        if cfg.defense_kind not in (DefenseKind.PRFM, DefenseKind.FRRFM):
+            raise ValueError("RFM channel requires an RFM-issuing defense")
+        defense = DefenseParams(kind=cfg.defense_kind, trfm=cfg.trfm,
+                                seed=cfg.seed)
+        base = SystemConfig(defense=defense,
+                            refresh_policy=cfg.refresh_policy,
+                            seed=cfg.seed)
+        if cfg.frontend_latency_override is not None:
+            base = base.with_(frontend_latency=cfg.frontend_latency_override)
+        return base
+
+    def _build(self, bits: list[int]):
+        cfg = self.cfg
+        system = MemorySystem(self.system_config())
+        classifier = LatencyClassifier(system.config,
+                                       resolution_ps=cfg.resolution_ps)
+        bg, bank = ATTACK_BANK
+        mapper = system.mapper
+        sender_addr = mapper.encode(bankgroup=bg, bank=bank, row=SENDER_ROW)
+        receiver_addr = mapper.encode(bankgroup=bg, bank=bank,
+                                      row=RECEIVER_ROW)
+        end = cfg.epoch + len(bits) * cfg.window_ps
+
+        # The RFM sender hammers for the whole window (RFMs repeat, so
+        # there is no single event after which to stop).
+        sender = WindowedSender(system, sender_addr, bits, cfg.epoch,
+                                cfg.window_ps, {0: None, 1: 0}, classifier,
+                                stop_on_backoff=False)
+        receiver = WindowedReceiver(system, receiver_addr, len(bits),
+                                    cfg.epoch, cfg.window_ps, classifier,
+                                    sleep_on_backoff=False)
+        agents = [sender, receiver]
+        if cfg.noise_intensity is not None:
+            noise_addrs = [mapper.encode(bankgroup=bg, bank=bank, row=r)
+                           for r in NOISE_ROWS]
+            agents.append(NoiseAgent.for_intensity(
+                system, noise_addrs, cfg.noise_intensity, stop_time=end))
+        if cfg.spec_class is not None:
+            org = system.config.org
+            banks = tuple((g, b) for g in range(org.bankgroups)
+                          for b in range(org.banks_per_group))
+            spec = spec_like_app(cfg.spec_class, f"spec-{cfg.spec_class}",
+                                 seed=cfg.seed + 11, banks=banks,
+                                 n_requests=10 ** 9)
+            agents.append(SyntheticAppAgent(system, spec, stop_time=end))
+        return system, classifier, sender, receiver, agents, end
+
+    # ------------------------------------------------------------------
+    def transmit(self, bits: list[int]) -> TransmissionResult:
+        cfg = self.cfg
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError("RFM channel is binary")
+        system, _, _, receiver, agents, end = self._build(bits)
+        run_agents(system, agents, hard_limit=end + 200 * US)
+        decoded = [
+            1 if receiver.events_of(k, EventKind.RFM) >= cfg.trecv else 0
+            for k in range(len(bits))
+        ]
+        windows = [
+            WindowObservation(
+                index=k, sent=bits[k], decoded=decoded[k],
+                rfms=receiver.events_of(k, EventKind.RFM),
+                refreshes=receiver.events_of(k, EventKind.REFRESH),
+                samples=receiver.window_samples[k])
+            for k in range(len(bits))
+        ]
+        blocks = system.stats.blocks_in(cfg.epoch, end)
+        return TransmissionResult(
+            sent=list(bits), decoded=decoded, window_ps=cfg.window_ps,
+            bits_per_symbol=1.0, windows=windows,
+            ground_truth_backoffs=sum(
+                1 for b in blocks if b.kind is BlockKind.BACKOFF),
+            ground_truth_rfms=sum(
+                1 for b in blocks if b.kind is BlockKind.RFM))
+
+    def transmit_text(self, text: str) -> TransmissionResult:
+        return self.transmit(bits_from_text(text))

@@ -1,0 +1,18 @@
+"""CPU-side agents: measurement loops, noise generators, workload players."""
+
+from repro.cpu.agent import Agent
+from repro.cpu.probe import LatencyProbe, LatencySample
+from repro.cpu.noise import NoiseAgent, sleep_for_noise_intensity
+from repro.cpu.app import AppSpec, SyntheticAppAgent
+from repro.cpu.trace import TraceReplayAgent
+
+__all__ = [
+    "Agent",
+    "LatencyProbe",
+    "LatencySample",
+    "NoiseAgent",
+    "sleep_for_noise_intensity",
+    "AppSpec",
+    "SyntheticAppAgent",
+    "TraceReplayAgent",
+]

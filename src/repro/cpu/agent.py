@@ -1,0 +1,44 @@
+"""Base class for simulated processes issuing memory requests."""
+
+from __future__ import annotations
+
+from repro.system import MemorySystem
+
+
+class Agent:
+    """A process with access to the memory system.
+
+    Subclasses implement :meth:`start` (arming their first event) and
+    drive themselves from request-completion callbacks.  ``done``
+    flips when the agent has finished its work; drivers typically run
+    the simulation until every agent reports done.
+    """
+
+    def __init__(self, system: MemorySystem, name: str) -> None:
+        self.system = system
+        self.sim = system.sim
+        self.config = system.config
+        self.name = name
+        self.done = False
+        self.finish_time: int | None = None
+
+    def start(self) -> None:
+        raise NotImplementedError
+
+    def _finish(self) -> None:
+        if not self.done:
+            self.done = True
+            self.finish_time = self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, done={self.done})"
+
+
+def run_agents(system: MemorySystem, agents: list[Agent],
+               hard_limit: int, step: int | None = None) -> None:
+    """Start all agents and run the simulation until they all finish."""
+    for agent in agents:
+        agent.start()
+    if step is None:
+        step = max(hard_limit // 100, 1)
+    system.run_until(lambda: all(a.done for a in agents), step, hard_limit)

@@ -1,0 +1,172 @@
+"""Synthetic application agents standing in for SPEC CPU workloads.
+
+The paper uses SPEC CPU2017/2006 applications categorized by RBMPKI
+(row-buffer misses per kilo-instruction).  We substitute seeded
+synthetic agents whose two knobs map onto exactly that axis:
+
+* ``think_ps`` -- mean compute gap between memory requests (memory
+  intensity);
+* ``p_row_hit`` -- probability that the next access stays in the
+  currently open row (row-buffer locality; its complement drives the
+  row-conflict rate, i.e., RBMPKI).
+
+Each agent walks a private working set of rows spread over a set of
+banks, which is how real applications both generate interference for
+the covert channels (Figs. 5/8) and accumulate activation counts that
+trip RowHammer defenses (Fig. 13).
+"""
+
+from __future__ import annotations
+
+import random
+from bisect import bisect_left
+from dataclasses import dataclass
+
+from repro.cpu.agent import Agent
+from repro.sim.engine import NS
+from repro.system import MemorySystem
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Parameters of one synthetic application."""
+
+    name: str
+    think_ps: int  #: mean gap between requests (exponential)
+    p_row_hit: float  #: probability of staying in the open row
+    n_rows: int  #: working-set rows per bank
+    banks: tuple[tuple[int, int], ...]  #: (bankgroup, bank) pairs used
+    n_requests: int  #: requests to issue before finishing
+    seed: int = 0
+    rank: int = 0
+    row_base: int = 4096  #: first working-set row (keeps clear of attack rows)
+    #: Zipf skew of row reuse.  Real applications revisit hot rows many
+    #: times over a run (power-law reuse), which is what accumulates the
+    #: activation counts that trip RowHammer defenses; 0 = uniform.
+    zipf_s: float = 1.0
+
+    def validate(self) -> None:
+        if not 0.0 <= self.p_row_hit < 1.0:
+            raise ValueError("p_row_hit must be in [0, 1)")
+        if self.think_ps < 0 or self.n_requests < 1 or self.n_rows < 1:
+            raise ValueError("invalid AppSpec parameters")
+        if not self.banks:
+            raise ValueError("an app must use at least one bank")
+        if self.zipf_s < 0:
+            raise ValueError("zipf_s must be >= 0")
+
+
+class SyntheticAppAgent(Agent):
+    """Closed-loop request generator following an :class:`AppSpec`."""
+
+    def __init__(self, system: MemorySystem, spec: AppSpec,
+                 start_time: int = 0,
+                 stop_time: int | None = None) -> None:
+        super().__init__(system, spec.name)
+        spec.validate()
+        self.spec = spec
+        self.start_time = start_time
+        self.stop_time = stop_time
+        self.rng = random.Random(spec.seed)
+        self.requests_done = 0
+        self._bank_idx = 0
+        self._row = spec.row_base
+        self._col = 0
+        self._row_cdf = self._build_row_cdf(spec)
+        # The working set is a list of (bank, row) locations: a hot row
+        # lives in *one* bank (a hot page maps to one DRAM row), which
+        # is what lets its activation count accumulate there.
+        self._working_set = [
+            (self.rng.randrange(len(spec.banks)),
+             spec.row_base + i)
+            for i in range(spec.n_rows)
+        ]
+
+    @staticmethod
+    def _build_row_cdf(spec: AppSpec) -> list[float]:
+        """Cumulative Zipf distribution over working-set entries."""
+        if spec.zipf_s == 0:
+            weights = [1.0] * spec.n_rows
+        else:
+            weights = [1.0 / (i + 1) ** spec.zipf_s
+                       for i in range(spec.n_rows)]
+        total = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        cdf[-1] = 1.0
+        return cdf
+
+    def _sample_location(self) -> tuple[int, int]:
+        """Draw a (bank index, row) with Zipf-distributed reuse."""
+        idx = bisect_left(self._row_cdf, self.rng.random())
+        return self._working_set[idx]
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.sim.schedule_at(self.start_time, self._issue)
+
+    def _next_addr(self) -> int:
+        spec = self.spec
+        rng = self.rng
+        if rng.random() < spec.p_row_hit:
+            self._col = (self._col + 1) % self.config.org.cols_per_row
+        else:
+            self._bank_idx, self._row = self._sample_location()
+            self._col = rng.randrange(self.config.org.cols_per_row)
+        bg, bank = spec.banks[self._bank_idx]
+        return self.system.mapper.encode(
+            rank=spec.rank, bankgroup=bg, bank=bank,
+            row=self._row, col=self._col)
+
+    def _issue(self) -> None:
+        if self.done:
+            return
+        if self.stop_time is not None and self.sim.now >= self.stop_time:
+            self._finish()
+            return
+        self.system.submit(self._next_addr(), self._complete)
+
+    def _complete(self, req) -> None:
+        self.requests_done += 1
+        if self.requests_done >= self.spec.n_requests:
+            self._finish()
+            return
+        think = self.spec.think_ps
+        if think:
+            # Exponential gaps, floored at 1 ps, keep bursts realistic
+            # while preserving the configured mean.
+            gap = max(1, round(self.rng.expovariate(1.0 / think)))
+        else:
+            gap = 1
+        self.sim.schedule(gap, self._issue)
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> int:
+        """Wall-clock time from start to finish (valid once done)."""
+        if self.finish_time is None:
+            raise RuntimeError(f"{self.name} has not finished")
+        return self.finish_time - self.start_time
+
+
+# ----------------------------------------------------------------------
+# RBMPKI classes used by the interference studies (Figs. 5 and 8).
+# ----------------------------------------------------------------------
+def spec_like_app(memory_intensity: str, name: str, seed: int,
+                  banks: tuple[tuple[int, int], ...],
+                  n_requests: int = 50_000) -> AppSpec:
+    """A synthetic SPEC-like app of class L (low), M (medium), H (high)."""
+    classes = {
+        "L": dict(think_ps=400 * NS, p_row_hit=0.85, n_rows=64),
+        "M": dict(think_ps=120 * NS, p_row_hit=0.60, n_rows=256),
+        "H": dict(think_ps=20 * NS, p_row_hit=0.30, n_rows=512),
+    }
+    try:
+        knobs = classes[memory_intensity]
+    except KeyError:
+        raise ValueError("memory_intensity must be 'L', 'M', or 'H'") from None
+    return AppSpec(name=name, banks=banks, n_requests=n_requests, seed=seed,
+                   **knobs)

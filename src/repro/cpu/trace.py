@@ -1,0 +1,62 @@
+"""Open-loop trace replay (the browser process of the side channel).
+
+Replays a list of ``(time_offset_ps, addr)`` records against the memory
+system with a bounded number of outstanding requests.  If the memory
+system falls behind the schedule the replay slips (issues as fast as
+completions permit), which is how a real core's MLP limit behaves.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.agent import Agent
+from repro.system import MemorySystem
+
+
+class TraceReplayAgent(Agent):
+    """Replays a timed access trace with bounded outstanding requests."""
+
+    def __init__(self, system: MemorySystem,
+                 trace: list[tuple[int, int]], name: str = "trace",
+                 start_time: int = 0, max_outstanding: int = 4) -> None:
+        super().__init__(system, name)
+        if max_outstanding < 1:
+            raise ValueError("max_outstanding must be >= 1")
+        self.trace = trace
+        self.start_time = start_time
+        self.max_outstanding = max_outstanding
+        self._next_idx = 0
+        self._outstanding = 0
+        self.completed = 0
+
+    def start(self) -> None:
+        if not self.trace:
+            self.sim.schedule_at(self.start_time, self._finish)
+            return
+        self.sim.schedule_at(self.start_time, self._pump)
+
+    def _pump(self) -> None:
+        """Issue every due record, up to the outstanding limit."""
+        if self.done:
+            return
+        now = self.sim.now
+        while (self._next_idx < len(self.trace)
+               and self._outstanding < self.max_outstanding):
+            offset, addr = self.trace[self._next_idx]
+            due = self.start_time + offset
+            if due > now:
+                break
+            self._next_idx += 1
+            self._outstanding += 1
+            self.system.submit(addr, self._complete)
+        if (self._next_idx < len(self.trace)
+                and self._outstanding < self.max_outstanding):
+            offset, _ = self.trace[self._next_idx]
+            self.sim.schedule_at(self.start_time + offset, self._pump)
+
+    def _complete(self, req) -> None:
+        self._outstanding -= 1
+        self.completed += 1
+        if self.completed >= len(self.trace):
+            self._finish()
+            return
+        self._pump()

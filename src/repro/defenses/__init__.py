@@ -1,0 +1,28 @@
+"""RowHammer defenses: industry mechanisms and LeakyHammer countermeasures.
+
+Every defense implements the two-part structure the paper describes: a
+*trigger algorithm* observing the access stream (the ``on_activate`` /
+``on_precharge`` hooks called by the memory controller) and a
+*preventive action* (a blocking interval installed on the affected
+banks via ``MemoryController.block_banks``).
+"""
+
+from repro.defenses.base import Defense
+from repro.defenses.prac import PracDefense
+from repro.defenses.prfm import PrfmDefense
+from repro.defenses.frrfm import FixedRateRfmDefense
+from repro.defenses.riac import PracRiacDefense
+from repro.defenses.prac_bank import BankLevelPracDefense
+from repro.defenses.para import ParaDefense
+from repro.defenses.factory import build_defense
+
+__all__ = [
+    "Defense",
+    "PracDefense",
+    "PrfmDefense",
+    "FixedRateRfmDefense",
+    "PracRiacDefense",
+    "BankLevelPracDefense",
+    "ParaDefense",
+    "build_defense",
+]

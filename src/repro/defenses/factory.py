@@ -1,0 +1,39 @@
+"""Defense construction from a :class:`SystemConfig`."""
+
+from __future__ import annotations
+
+from repro.controller.controller import MemoryController
+from repro.sim.config import DefenseKind, SystemConfig
+from repro.sim.engine import Simulator
+from repro.sim.stats import MemoryStats
+
+from repro.defenses.base import Defense
+from repro.defenses.frrfm import FixedRateRfmDefense
+from repro.defenses.para import ParaDefense
+from repro.defenses.prac import PracDefense
+from repro.defenses.prac_bank import BankLevelPracDefense
+from repro.defenses.prfm import PrfmDefense
+from repro.defenses.riac import PracRiacDefense
+
+_REGISTRY: dict[DefenseKind, type[Defense]] = {
+    DefenseKind.NONE: Defense,
+    DefenseKind.PRAC: PracDefense,
+    DefenseKind.PRFM: PrfmDefense,
+    DefenseKind.FRRFM: FixedRateRfmDefense,
+    DefenseKind.PRAC_RIAC: PracRiacDefense,
+    DefenseKind.PRAC_BANK: BankLevelPracDefense,
+    DefenseKind.PARA: ParaDefense,
+}
+
+
+def build_defense(sim: Simulator, controller: MemoryController,
+                  config: SystemConfig, stats: MemoryStats) -> Defense:
+    """Instantiate and attach the defense selected by the config."""
+    kind = config.defense.kind
+    try:
+        cls = _REGISTRY[kind]
+    except KeyError:
+        raise ValueError(f"unknown defense kind: {kind!r}") from None
+    defense = cls(sim, controller, config, stats)
+    controller.attach_defense(defense)
+    return defense

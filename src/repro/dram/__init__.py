@@ -1,0 +1,6 @@
+"""DRAM device substrate: organization, address mapping, bank state."""
+
+from repro.dram.address import AddressMapper, Coord
+from repro.dram.bank import BankState
+
+__all__ = ["AddressMapper", "Coord", "BankState"]

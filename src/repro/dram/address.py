@@ -1,0 +1,125 @@
+"""Physical-address <-> DRAM-coordinate mapping.
+
+The mapper implements the common "row : rank : bank : bank-group :
+column : offset" bit slicing (row bits in the most-significant
+positions so that sequential physical addresses stream through a row
+before moving to the next bank).  Attacks construct addresses directly
+from coordinates via :meth:`AddressMapper.encode`, mirroring how the
+paper's attackers place pages after reverse-engineering the mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import DramOrg
+
+
+@dataclass(frozen=True, order=True)
+class Coord:
+    """A fully-resolved DRAM location (single-channel system).
+
+    Flattening a coordinate to a bank id within its rank requires the
+    organization, so it lives on :meth:`AddressMapper.flat_bank`.
+    """
+
+    rank: int
+    bankgroup: int
+    bank: int
+    row: int
+    col: int
+
+
+def _bits_for(n: int) -> int:
+    """Number of address bits needed to index ``n`` equally-likely values."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if n & (n - 1):
+        raise ValueError(f"{n} is not a power of two")
+    return n.bit_length() - 1
+
+
+class AddressMapper:
+    """Bijective mapping between byte addresses and DRAM coordinates."""
+
+    def __init__(self, org: DramOrg) -> None:
+        org.validate()
+        self.org = org
+        self._offset_bits = _bits_for(org.line_bytes)
+        self._col_bits = _bits_for(org.cols_per_row)
+        self._bg_bits = _bits_for(org.bankgroups)
+        self._bank_bits = _bits_for(org.banks_per_group)
+        self._rank_bits = _bits_for(org.ranks)
+        self._row_bits = _bits_for(org.rows_per_bank)
+
+        shift = self._offset_bits
+        self._col_shift = shift
+        shift += self._col_bits
+        self._bg_shift = shift
+        shift += self._bg_bits
+        self._bank_shift = shift
+        shift += self._bank_bits
+        self._rank_shift = shift
+        shift += self._rank_bits
+        self._row_shift = shift
+        self.address_bits = shift + self._row_bits
+
+    # ------------------------------------------------------------------
+    def decode(self, addr: int) -> Coord:
+        """Map a byte address to its DRAM coordinate."""
+        if addr < 0 or addr >= (1 << self.address_bits):
+            raise ValueError(f"address {addr:#x} outside the mapped space")
+        return Coord(
+            rank=(addr >> self._rank_shift) & ((1 << self._rank_bits) - 1),
+            bankgroup=(addr >> self._bg_shift) & ((1 << self._bg_bits) - 1),
+            bank=(addr >> self._bank_shift) & ((1 << self._bank_bits) - 1),
+            row=(addr >> self._row_shift) & ((1 << self._row_bits) - 1),
+            col=(addr >> self._col_shift) & ((1 << self._col_bits) - 1),
+        )
+
+    def encode(self, rank: int = 0, bankgroup: int = 0, bank: int = 0,
+               row: int = 0, col: int = 0) -> int:
+        """Build a byte address for the given DRAM coordinate."""
+        org = self.org
+        if not (0 <= rank < org.ranks):
+            raise ValueError(f"rank {rank} out of range")
+        if not (0 <= bankgroup < org.bankgroups):
+            raise ValueError(f"bankgroup {bankgroup} out of range")
+        if not (0 <= bank < org.banks_per_group):
+            raise ValueError(f"bank {bank} out of range")
+        if not (0 <= row < org.rows_per_bank):
+            raise ValueError(f"row {row} out of range")
+        if not (0 <= col < org.cols_per_row):
+            raise ValueError(f"col {col} out of range")
+        return (
+            (row << self._row_shift)
+            | (rank << self._rank_shift)
+            | (bank << self._bank_shift)
+            | (bankgroup << self._bg_shift)
+            | (col << self._col_shift)
+        )
+
+    # ------------------------------------------------------------------
+    def flat_bank(self, coord: Coord) -> int:
+        """Flat bank id within a rank (bankgroup-major order)."""
+        return coord.bankgroup * self.org.banks_per_group + coord.bank
+
+    def unflatten_bank(self, flat: int) -> tuple[int, int]:
+        """Inverse of :meth:`flat_bank`: returns (bankgroup, bank)."""
+        if not (0 <= flat < self.org.banks_per_rank):
+            raise ValueError(f"flat bank {flat} out of range")
+        return divmod(flat, self.org.banks_per_group)
+
+    def same_bank_rows(self, n_rows: int, rank: int = 0, bankgroup: int = 0,
+                       bank: int = 0, first_row: int = 0,
+                       stride: int = 2) -> list[int]:
+        """Addresses of ``n_rows`` distinct rows co-located in one bank.
+
+        ``stride`` > 1 spaces the rows apart so they are never RowHammer
+        neighbors of each other (the attacks alternate between them).
+        """
+        rows = [first_row + i * stride for i in range(n_rows)]
+        if rows and rows[-1] >= self.org.rows_per_bank:
+            raise ValueError("requested rows exceed the bank")
+        return [self.encode(rank=rank, bankgroup=bankgroup, bank=bank, row=r)
+                for r in rows]

@@ -1,0 +1,42 @@
+"""Per-bank row-buffer state tracked by the memory controller."""
+
+from __future__ import annotations
+
+
+class BankState:
+    """Mutable state of one DRAM bank.
+
+    ``busy_until`` is the earliest time any new command sequence may
+    start on this bank (it absorbs blocking intervals from refreshes,
+    RFMs and back-off recovery).  ``act_time`` is the timestamp of the
+    most recent ACT, needed to honor tRAS before the next PRE.
+    """
+
+    __slots__ = ("rank", "flat_id", "open_row", "busy_until", "act_time",
+                 "hit_streak")
+
+    #: Sentinel "long ago" ACT time so a fresh bank owes no tRC/tRAS.
+    NEVER = -(1 << 60)
+
+    def __init__(self, rank: int, flat_id: int) -> None:
+        self.rank = rank
+        self.flat_id = flat_id
+        self.open_row: int | None = None
+        self.busy_until: int = 0
+        self.act_time: int = self.NEVER
+        #: Consecutive row-hit requests served (FR-FCFS column cap).
+        self.hit_streak: int = 0
+
+    def close(self) -> None:
+        """Precharge bookkeeping: forget the open row."""
+        self.open_row = None
+        self.hit_streak = 0
+
+    def block_until(self, end: int) -> None:
+        """Extend the bank's busy horizon (refresh / RFM / back-off)."""
+        if end > self.busy_until:
+            self.busy_until = end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"BankState(rank={self.rank}, bank={self.flat_id}, "
+                f"open_row={self.open_row}, busy_until={self.busy_until})")

@@ -1,0 +1,70 @@
+"""From-scratch classical ML (numpy only).
+
+The paper trains eight scikit-learn classifiers on back-off-trace
+features (Fig. 10, Table 2).  This offline environment has no sklearn,
+so the models are implemented here from their standard algorithms and
+validated against ground-truth datasets in the test suite:
+
+decision tree (CART/gini), random forest, gradient boosting (softmax),
+AdaBoost (SAMME), k-nearest neighbors, linear SVM (one-vs-rest hinge),
+logistic regression (softmax), and perceptron.
+"""
+
+from repro.ml.tree import DecisionTreeClassifier, DecisionTreeRegressor
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.boosting import AdaBoostClassifier, GradientBoostingClassifier
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import (
+    LinearSVC,
+    LogisticRegression,
+    Perceptron,
+)
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.model_selection import (
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+
+
+def paper_model_zoo(seed: int = 0) -> dict:
+    """The eight models of Fig. 10, with the paper's presentation order."""
+    return {
+        "Decision Tree": DecisionTreeClassifier(seed=seed),
+        "Random Forest": RandomForestClassifier(n_estimators=30, seed=seed),
+        "Gradient Boosting": GradientBoostingClassifier(
+            n_estimators=30, seed=seed),
+        "KNN": KNeighborsClassifier(n_neighbors=3),
+        "SVM": LinearSVC(seed=seed),
+        "Logistic Regression": LogisticRegression(seed=seed),
+        "AdaBoost": AdaBoostClassifier(n_estimators=30, seed=seed),
+        "Perceptron": Perceptron(seed=seed),
+    }
+
+
+__all__ = [
+    "DecisionTreeClassifier",
+    "DecisionTreeRegressor",
+    "RandomForestClassifier",
+    "GradientBoostingClassifier",
+    "AdaBoostClassifier",
+    "KNeighborsClassifier",
+    "LinearSVC",
+    "LogisticRegression",
+    "Perceptron",
+    "accuracy_score",
+    "confusion_matrix",
+    "precision_score",
+    "recall_score",
+    "f1_score",
+    "StratifiedKFold",
+    "train_test_split",
+    "cross_validate",
+    "paper_model_zoo",
+]

@@ -1,0 +1,63 @@
+"""Random forest: bagged CART trees over random feature subspaces."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_x, check_xy
+from repro.ml.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier(Classifier):
+    """Majority vote over bootstrap-trained trees (Breiman 2001)."""
+
+    def __init__(self, n_estimators: int = 50,
+                 max_depth: int | None = None,
+                 min_samples_leaf: int = 1,
+                 max_features: int | str | None = "sqrt",
+                 seed: int = 0) -> None:
+        super().__init__()
+        if n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.trees_: list[DecisionTreeClassifier] = []
+
+    def fit(self, X, y) -> "RandomForestClassifier":
+        X, y = check_xy(X, y)
+        encoded = self._encode_labels(y)
+        self.n_features_ = X.shape[1]
+        rng = np.random.default_rng(self.seed)
+        n = len(X)
+        self.trees_ = []
+        for i in range(self.n_estimators):
+            idx = rng.integers(0, n, size=n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features=self.max_features,
+                seed=self.seed * 1013 + i)
+            # Trees vote in encoded space; ensure every tree sees the
+            # full class set by passing encoded labels directly.
+            tree.fit(X[idx], encoded[idx])
+            self.trees_.append(tree)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_x(X, self.n_features_)
+        n_classes = len(self.classes_)
+        votes = np.zeros((len(X), n_classes))
+        rows = np.arange(len(X))
+        for tree in self.trees_:
+            pred = tree.predict(X).astype(int)  # forest-encoded labels
+            votes[rows, pred] += 1
+        totals = votes.sum(axis=1, keepdims=True)
+        return votes / np.maximum(totals, 1)
+
+    def predict(self, X) -> np.ndarray:
+        probs = self.predict_proba(X)
+        return self._decode_labels(np.argmax(probs, axis=1))

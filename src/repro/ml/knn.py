@@ -1,0 +1,43 @@
+"""k-nearest-neighbors classification (brute-force Euclidean)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_x, check_xy
+
+
+class KNeighborsClassifier(Classifier):
+    """Majority vote among the k nearest training points."""
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        super().__init__()
+        if n_neighbors < 1:
+            raise ValueError("n_neighbors must be >= 1")
+        self.n_neighbors = n_neighbors
+        self._X: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, X, y) -> "KNeighborsClassifier":
+        X, y = check_xy(X, y)
+        self._y = self._encode_labels(y)
+        self._X = X
+        self.n_features_ = X.shape[1]
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_x(X, self.n_features_)
+        assert self._X is not None and self._y is not None
+        k = min(self.n_neighbors, len(self._X))
+        # (a-b)^2 = a^2 - 2ab + b^2; argpartition avoids a full sort.
+        d2 = (np.sum(X ** 2, axis=1)[:, None]
+              - 2.0 * X @ self._X.T
+              + np.sum(self._X ** 2, axis=1)[None, :])
+        nearest = np.argpartition(d2, kth=k - 1, axis=1)[:, :k]
+        n_classes = len(self.classes_)
+        out = np.empty(len(X), dtype=int)
+        for i, idx in enumerate(nearest):
+            votes = np.bincount(self._y[idx], minlength=n_classes)
+            out[i] = int(np.argmax(votes))
+        return self._decode_labels(out)

@@ -1,0 +1,156 @@
+"""Linear models: softmax logistic regression, one-vs-rest linear SVM,
+and the multiclass perceptron.  All standardize features internally
+(the fingerprint features span very different scales)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_x, check_xy
+
+
+class _LinearBase(Classifier):
+    """Weights + bias over standardized features."""
+
+    def __init__(self, seed: int = 0, standardize: bool = True) -> None:
+        super().__init__()
+        self.seed = seed
+        self.standardize = standardize
+        self.W: np.ndarray | None = None  # (n_classes, n_features)
+        self.b: np.ndarray | None = None
+        self._mu: np.ndarray | None = None
+        self._sigma: np.ndarray | None = None
+
+    def _fit_scaler(self, X: np.ndarray) -> np.ndarray:
+        if not self.standardize:
+            self._mu = np.zeros(X.shape[1])
+            self._sigma = np.ones(X.shape[1])
+            return X
+        self._mu = X.mean(axis=0)
+        self._sigma = X.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        return (X - self._mu) / self._sigma
+
+    def _transform(self, X: np.ndarray) -> np.ndarray:
+        return (X - self._mu) / self._sigma
+
+    def decision_function(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = self._transform(check_x(X, self.n_features_))
+        assert self.W is not None and self.b is not None
+        return X @ self.W.T + self.b
+
+    def predict(self, X) -> np.ndarray:
+        return self._decode_labels(
+            np.argmax(self.decision_function(X), axis=1))
+
+
+class LogisticRegression(_LinearBase):
+    """Multinomial (softmax) logistic regression by full-batch gradient
+    descent with L2 regularization."""
+
+    def __init__(self, lr: float = 0.5, n_iter: int = 300,
+                 l2: float = 1e-3, seed: int = 0,
+                 standardize: bool = True) -> None:
+        super().__init__(seed=seed, standardize=standardize)
+        if lr <= 0 or n_iter < 1 or l2 < 0:
+            raise ValueError("bad hyperparameters")
+        self.lr = lr
+        self.n_iter = n_iter
+        self.l2 = l2
+
+    def fit(self, X, y) -> "LogisticRegression":
+        X, y = check_xy(X, y)
+        encoded = self._encode_labels(y)
+        self.n_features_ = X.shape[1]
+        Xs = self._fit_scaler(X)
+        n, n_classes = len(X), len(self.classes_)
+        onehot = np.zeros((n, n_classes))
+        onehot[np.arange(n), encoded] = 1.0
+        self.W = np.zeros((n_classes, X.shape[1]))
+        self.b = np.zeros(n_classes)
+        for _ in range(self.n_iter):
+            scores = Xs @ self.W.T + self.b
+            scores -= scores.max(axis=1, keepdims=True)
+            probs = np.exp(scores)
+            probs /= probs.sum(axis=1, keepdims=True)
+            grad = (probs - onehot) / n
+            self.W -= self.lr * (grad.T @ Xs + self.l2 * self.W)
+            self.b -= self.lr * grad.sum(axis=0)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        scores = self.decision_function(X)
+        scores -= scores.max(axis=1, keepdims=True)
+        probs = np.exp(scores)
+        return probs / probs.sum(axis=1, keepdims=True)
+
+
+class LinearSVC(_LinearBase):
+    """One-vs-rest linear SVM trained with subgradient descent on the
+    L2-regularized hinge loss (Pegasos-style, full batch)."""
+
+    def __init__(self, c: float = 1.0, lr: float = 0.1, n_iter: int = 300,
+                 seed: int = 0, standardize: bool = True) -> None:
+        super().__init__(seed=seed, standardize=standardize)
+        if c <= 0 or lr <= 0 or n_iter < 1:
+            raise ValueError("bad hyperparameters")
+        self.c = c
+        self.lr = lr
+        self.n_iter = n_iter
+
+    def fit(self, X, y) -> "LinearSVC":
+        X, y = check_xy(X, y)
+        encoded = self._encode_labels(y)
+        self.n_features_ = X.shape[1]
+        Xs = self._fit_scaler(X)
+        n, n_classes = len(X), len(self.classes_)
+        signs = np.where(
+            np.arange(n_classes)[None, :] == encoded[:, None], 1.0, -1.0)
+        self.W = np.zeros((n_classes, X.shape[1]))
+        self.b = np.zeros(n_classes)
+        reg = 1.0 / (self.c * n)
+        for _ in range(self.n_iter):
+            margins = signs * (Xs @ self.W.T + self.b)
+            active = (margins < 1.0).astype(float) * signs
+            self.W -= self.lr * (reg * self.W - (active.T @ Xs) / n)
+            self.b += self.lr * active.sum(axis=0) / n
+        return self
+
+
+class Perceptron(_LinearBase):
+    """Classic multiclass perceptron (Rosenblatt 1958): on a mistake,
+    add the input to the true class's weights and subtract it from the
+    predicted class's."""
+
+    def __init__(self, n_iter: int = 50, seed: int = 0,
+                 standardize: bool = True) -> None:
+        super().__init__(seed=seed, standardize=standardize)
+        if n_iter < 1:
+            raise ValueError("n_iter must be >= 1")
+        self.n_iter = n_iter
+
+    def fit(self, X, y) -> "Perceptron":
+        X, y = check_xy(X, y)
+        encoded = self._encode_labels(y)
+        self.n_features_ = X.shape[1]
+        Xs = self._fit_scaler(X)
+        n, n_classes = len(X), len(self.classes_)
+        self.W = np.zeros((n_classes, X.shape[1]))
+        self.b = np.zeros(n_classes)
+        rng = np.random.default_rng(self.seed)
+        for _ in range(self.n_iter):
+            mistakes = 0
+            for i in rng.permutation(n):
+                scores = self.W @ Xs[i] + self.b
+                pred = int(np.argmax(scores))
+                true = encoded[i]
+                if pred != true:
+                    mistakes += 1
+                    self.W[true] += Xs[i]
+                    self.b[true] += 1.0
+                    self.W[pred] -= Xs[i]
+                    self.b[pred] -= 1.0
+            if mistakes == 0:
+                break
+        return self

@@ -1,0 +1,80 @@
+"""Classification metrics: accuracy, confusion matrix, P/R/F1."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _check_pair(y_true, y_pred) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ValueError("y_true and y_pred must be equal-length 1-D arrays")
+    if len(y_true) == 0:
+        raise ValueError("empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true, y_pred, labels=None) -> np.ndarray:
+    """Rows = true classes, columns = predicted classes."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = np.asarray(labels)
+    index = {label: i for i, label in enumerate(labels.tolist())}
+    matrix = np.zeros((len(labels), len(labels)), dtype=int)
+    for t, p in zip(y_true, y_pred):
+        matrix[index[t], index[p]] += 1
+    return matrix
+
+
+def _per_class_counts(y_true, y_pred):
+    labels = np.unique(np.concatenate([y_true, y_pred]))
+    tp = np.array([np.sum((y_true == c) & (y_pred == c)) for c in labels],
+                  dtype=float)
+    fp = np.array([np.sum((y_true != c) & (y_pred == c)) for c in labels],
+                  dtype=float)
+    fn = np.array([np.sum((y_true == c) & (y_pred != c)) for c in labels],
+                  dtype=float)
+    return labels, tp, fp, fn
+
+
+def precision_score(y_true, y_pred, average: str = "macro") -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    labels, tp, fp, _ = _per_class_counts(y_true, y_pred)
+    with np.errstate(invalid="ignore"):
+        per_class = np.where(tp + fp > 0, tp / (tp + fp), 0.0)
+    return _average(per_class, labels, y_true, average)
+
+
+def recall_score(y_true, y_pred, average: str = "macro") -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    labels, tp, _, fn = _per_class_counts(y_true, y_pred)
+    with np.errstate(invalid="ignore"):
+        per_class = np.where(tp + fn > 0, tp / (tp + fn), 0.0)
+    return _average(per_class, labels, y_true, average)
+
+
+def f1_score(y_true, y_pred, average: str = "macro") -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    labels, tp, fp, fn = _per_class_counts(y_true, y_pred)
+    denom = 2 * tp + fp + fn
+    per_class = np.where(denom > 0, 2 * tp / denom, 0.0)
+    return _average(per_class, labels, y_true, average)
+
+
+def _average(per_class: np.ndarray, labels: np.ndarray,
+             y_true: np.ndarray, average: str) -> float:
+    if average == "macro":
+        return float(per_class.mean())
+    if average == "weighted":
+        weights = np.array([np.sum(y_true == c) for c in labels],
+                           dtype=float)
+        total = weights.sum()
+        return float(np.sum(per_class * weights) / total) if total else 0.0
+    raise ValueError("average must be 'macro' or 'weighted'")

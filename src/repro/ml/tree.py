@@ -1,0 +1,256 @@
+"""CART decision trees (classification: Gini; regression: variance).
+
+Splits are found by sorting each candidate feature and scanning the
+prefix class counts -- the textbook CART algorithm.  ``max_features``
+enables the random-subspace behaviour random forests need, and
+``sample_weight`` support enables boosting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.base import Classifier, check_x, check_xy
+
+
+class _Node:
+    """One tree node (leaf if ``feature`` is None)."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value) -> None:
+        self.feature: int | None = None
+        self.threshold: float = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.value = value  # class-probability vector or mean target
+
+
+def _gini_gain(sorted_y: np.ndarray, sorted_w: np.ndarray,
+               n_classes: int) -> tuple[float, int]:
+    """Best weighted Gini impurity decrease over all split positions of
+    one pre-sorted feature; returns (impurity_after, split_position)."""
+    n = len(sorted_y)
+    onehot = np.zeros((n, n_classes))
+    onehot[np.arange(n), sorted_y] = sorted_w
+    prefix = np.cumsum(onehot, axis=0)
+    total = prefix[-1]
+    w_prefix = np.cumsum(sorted_w)
+    w_total = w_prefix[-1]
+
+    left = prefix[:-1]
+    right = total - left
+    wl = w_prefix[:-1]
+    wr = w_total - wl
+    with np.errstate(divide="ignore", invalid="ignore"):
+        gini_l = 1.0 - np.sum((left / wl[:, None]) ** 2, axis=1)
+        gini_r = 1.0 - np.sum((right / wr[:, None]) ** 2, axis=1)
+    impurity = (wl * gini_l + wr * gini_r) / w_total
+    impurity = np.where((wl <= 0) | (wr <= 0), np.inf, impurity)
+    pos = int(np.argmin(impurity))
+    return float(impurity[pos]), pos
+
+
+def _variance_gain(sorted_y: np.ndarray) -> tuple[float, int]:
+    """Best summed-SSE split of one pre-sorted feature (regression)."""
+    n = len(sorted_y)
+    prefix = np.cumsum(sorted_y)
+    prefix_sq = np.cumsum(sorted_y ** 2)
+    counts = np.arange(1, n)
+    sum_l = prefix[:-1]
+    sum_r = prefix[-1] - sum_l
+    sq_l = prefix_sq[:-1]
+    sq_r = prefix_sq[-1] - sq_l
+    n_l = counts
+    n_r = n - counts
+    sse = (sq_l - sum_l ** 2 / n_l) + (sq_r - sum_r ** 2 / n_r)
+    pos = int(np.argmin(sse))
+    return float(sse[pos]), pos
+
+
+class _BaseTree:
+    """Shared recursive builder."""
+
+    def __init__(self, max_depth: int | None, min_samples_split: int,
+                 min_samples_leaf: int, max_features: int | str | None,
+                 seed: int) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._root: _Node | None = None
+        self._rng = np.random.default_rng(seed)
+
+    # Subclass hooks ----------------------------------------------------
+    def _leaf_value(self, y: np.ndarray, w: np.ndarray):
+        raise NotImplementedError
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        raise NotImplementedError
+
+    def _best_split_of(self, x_sorted_y: np.ndarray, w: np.ndarray
+                       ) -> tuple[float, int]:
+        raise NotImplementedError
+
+    # Builder -----------------------------------------------------------
+    def _n_candidate_features(self, n_features: int) -> int:
+        mf = self.max_features
+        if mf is None:
+            return n_features
+        if mf == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(mf, int):
+            return max(1, min(mf, n_features))
+        raise ValueError(f"bad max_features: {mf!r}")
+
+    def _build(self, X: np.ndarray, y: np.ndarray, w: np.ndarray,
+               depth: int) -> _Node:
+        node = _Node(self._leaf_value(y, w))
+        n, n_features = X.shape
+        if (n < self.min_samples_split or self._is_pure(y)
+                or (self.max_depth is not None and depth >= self.max_depth)):
+            return node
+
+        k = self._n_candidate_features(n_features)
+        if k < n_features:
+            candidates = self._rng.choice(n_features, size=k, replace=False)
+        else:
+            candidates = np.arange(n_features)
+
+        best = (np.inf, -1, 0.0)  # (impurity, feature, threshold)
+        for feature in candidates:
+            order = np.argsort(X[:, feature], kind="stable")
+            xs = X[order, feature]
+            if xs[0] == xs[-1]:
+                continue
+            impurity, pos = self._best_split_of(y[order], w[order])
+            # Move the split to the last index sharing the value so the
+            # threshold separates distinct feature values.
+            while pos < n - 1 and xs[pos] == xs[pos + 1]:
+                pos += 1
+            if pos >= n - 1:
+                continue
+            if (pos + 1 < self.min_samples_leaf
+                    or n - pos - 1 < self.min_samples_leaf):
+                continue
+            if impurity < best[0]:
+                threshold = (xs[pos] + xs[pos + 1]) / 2.0
+                best = (impurity, int(feature), threshold)
+
+        if best[1] < 0:
+            return node
+        _, feature, threshold = best
+        mask = X[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(X[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    def _predict_node(self, x: np.ndarray) -> _Node:
+        node = self._root
+        assert node is not None
+        while node.feature is not None:
+            node = node.left if x[node.feature] <= node.threshold \
+                else node.right
+            assert node is not None
+        return node
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        def walk(node: _Node | None) -> int:
+            if node is None or node.feature is None:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+        return walk(self._root)
+
+
+class DecisionTreeClassifier(_BaseTree, Classifier):
+    """CART classifier with Gini impurity."""
+
+    def __init__(self, max_depth: int | None = None,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 max_features: int | str | None = None,
+                 seed: int = 0) -> None:
+        _BaseTree.__init__(self, max_depth, min_samples_split,
+                           min_samples_leaf, max_features, seed)
+        Classifier.__init__(self)
+        self._n_classes = 0
+
+    def _leaf_value(self, y: np.ndarray, w: np.ndarray) -> np.ndarray:
+        probs = np.bincount(y, weights=w, minlength=self._n_classes)
+        total = probs.sum()
+        return probs / total if total > 0 else probs
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return bool((y == y[0]).all())
+
+    def _best_split_of(self, sorted_y, w) -> tuple[float, int]:
+        return _gini_gain(sorted_y, w, self._n_classes)
+
+    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+        X, y = check_xy(X, y)
+        encoded = self._encode_labels(y)
+        self.n_features_ = X.shape[1]
+        self._n_classes = len(self.classes_)
+        if sample_weight is None:
+            w = np.ones(len(y))
+        else:
+            w = np.asarray(sample_weight, dtype=float)
+            if len(w) != len(y) or (w < 0).any():
+                raise ValueError("bad sample_weight")
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._build(X, encoded, w, depth=0)
+        return self
+
+    def predict_proba(self, X) -> np.ndarray:
+        self._require_fitted()
+        X = check_x(X, self.n_features_)
+        return np.vstack([self._predict_node(x).value for x in X])
+
+    def predict(self, X) -> np.ndarray:
+        probs = self.predict_proba(X)
+        return self._decode_labels(np.argmax(probs, axis=1))
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regressor with variance (SSE) splitting."""
+
+    def __init__(self, max_depth: int | None = 3,
+                 min_samples_split: int = 2, min_samples_leaf: int = 1,
+                 max_features: int | str | None = None,
+                 seed: int = 0) -> None:
+        super().__init__(max_depth, min_samples_split, min_samples_leaf,
+                         max_features, seed)
+        self.n_features_: int | None = None
+
+    def _leaf_value(self, y: np.ndarray, w: np.ndarray) -> float:
+        return float(np.average(y, weights=w))
+
+    def _is_pure(self, y: np.ndarray) -> bool:
+        return bool(np.all(y == y[0]))
+
+    def _best_split_of(self, sorted_y, w) -> tuple[float, int]:
+        return _variance_gain(sorted_y.astype(float))
+
+    def fit(self, X, y) -> "DecisionTreeRegressor":
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2 or len(X) != len(y):
+            raise ValueError("bad regression dataset")
+        self.n_features_ = X.shape[1]
+        self._rng = np.random.default_rng(self.seed)
+        self._root = self._build(X, y, np.ones(len(y)), depth=0)
+        return self
+
+    def predict(self, X) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("regressor is not fitted")
+        X = check_x(X, self.n_features_)
+        return np.array([self._predict_node(x).value for x in X])

@@ -1,0 +1,35 @@
+"""Discrete-event simulation substrate.
+
+The engine models time as integer picoseconds.  Components schedule
+callbacks on a shared heap; the memory controller, refresh scheduler,
+defense mechanisms and CPU agents are all driven by this one clock.
+"""
+
+from repro.sim.engine import MS, NS, PS, US, SEC, Simulator
+from repro.sim.config import (
+    DefenseKind,
+    DefenseParams,
+    DramOrg,
+    DramTiming,
+    RefreshPolicy,
+    SystemConfig,
+)
+from repro.sim.stats import BlockInterval, BlockKind, MemoryStats
+
+__all__ = [
+    "PS",
+    "NS",
+    "US",
+    "MS",
+    "SEC",
+    "Simulator",
+    "DramTiming",
+    "DramOrg",
+    "DefenseKind",
+    "DefenseParams",
+    "RefreshPolicy",
+    "SystemConfig",
+    "MemoryStats",
+    "BlockKind",
+    "BlockInterval",
+]

@@ -1,0 +1,25 @@
+"""Workload generators: message patterns, SPEC-like mixes, website traces."""
+
+from repro.workloads.patterns import (
+    bits_from_text,
+    checkered_bits,
+    constant_bits,
+    random_symbols,
+    standard_patterns,
+    text_from_bits,
+)
+from repro.workloads.spec import WorkloadMix, make_workload_mixes
+from repro.workloads.websites import WebsiteCatalog, WebsiteProfile
+
+__all__ = [
+    "bits_from_text",
+    "text_from_bits",
+    "constant_bits",
+    "checkered_bits",
+    "random_symbols",
+    "standard_patterns",
+    "WorkloadMix",
+    "make_workload_mixes",
+    "WebsiteCatalog",
+    "WebsiteProfile",
+]

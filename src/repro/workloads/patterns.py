@@ -1,0 +1,65 @@
+"""Message/bit-pattern helpers for the covert-channel experiments.
+
+The paper transmits the 40-bit message ``"MICRO"`` for Figs. 3/6 and
+100-byte messages in four patterns (all 1s, all 0s, checkered 0,
+checkered 1) for the rate/noise studies.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+def bits_from_text(text: str) -> list[int]:
+    """MSB-first ASCII bits (e.g., "MICRO" -> 40 bits)."""
+    bits: list[int] = []
+    for char in text.encode("ascii"):
+        for shift in range(7, -1, -1):
+            bits.append((char >> shift) & 1)
+    return bits
+
+
+def text_from_bits(bits: Sequence[int]) -> str:
+    """Inverse of :func:`bits_from_text`; undecodable bytes become '?'."""
+    if len(bits) % 8:
+        raise ValueError("bit count must be a multiple of 8")
+    chars = []
+    for i in range(0, len(bits), 8):
+        value = 0
+        for bit in bits[i:i + 8]:
+            value = (value << 1) | (bit & 1)
+        chars.append(chr(value) if 32 <= value < 127 else "?")
+    return "".join(chars)
+
+
+def constant_bits(n: int, value: int) -> list[int]:
+    """All-0 or all-1 message of length ``n``."""
+    if value not in (0, 1):
+        raise ValueError("value must be 0 or 1")
+    return [value] * n
+
+
+def checkered_bits(n: int, first: int) -> list[int]:
+    """0101... (first=0) or 1010... (first=1)."""
+    if first not in (0, 1):
+        raise ValueError("first must be 0 or 1")
+    return [(first + i) % 2 for i in range(n)]
+
+
+def standard_patterns(n_bits: int) -> dict[str, list[int]]:
+    """The paper's four evaluation patterns at a given message length."""
+    return {
+        "all-1s": constant_bits(n_bits, 1),
+        "all-0s": constant_bits(n_bits, 0),
+        "checkered-0": checkered_bits(n_bits, 0),
+        "checkered-1": checkered_bits(n_bits, 1),
+    }
+
+
+def random_symbols(n: int, n_levels: int, seed: int) -> list[int]:
+    """Uniform random symbols in [0, n_levels) for multibit channels."""
+    if n_levels < 2:
+        raise ValueError("need at least two symbol levels")
+    rng = random.Random(seed)
+    return [rng.randrange(n_levels) for _ in range(n)]

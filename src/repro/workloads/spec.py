@@ -1,0 +1,74 @@
+"""SPEC-CPU-like multicore workload mixes (substitute for Fig. 13's
+60 four-core SPEC2017/2006 workloads).
+
+Each mix names four memory-intensity classes; :func:`apps_for_mix`
+expands a mix into four :class:`~repro.cpu.app.AppSpec` instances with
+disjoint working sets spread over all banks of the channel, which is
+how real co-running applications both contend for banks and accumulate
+the activation counts that trip RowHammer defenses.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.cpu.app import AppSpec, spec_like_app
+from repro.sim.config import DramOrg
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """A four-core workload: one intensity class per core."""
+
+    name: str
+    classes: tuple[str, str, str, str]
+
+    def validate(self) -> None:
+        for cls in self.classes:
+            if cls not in ("L", "M", "H"):
+                raise ValueError(f"unknown intensity class {cls!r}")
+
+
+def make_workload_mixes(n: int, seed: int = 0) -> list[WorkloadMix]:
+    """Deterministic list of ``n`` four-core mixes.
+
+    The first mixes are the canonical corner cases (all-H, all-M,
+    all-L, balanced), the rest are seeded random draws -- mirroring how
+    the paper's 60 mixes span the intensity space.
+    """
+    canonical = [
+        WorkloadMix("mix-HHHH", ("H", "H", "H", "H")),
+        WorkloadMix("mix-MMMM", ("M", "M", "M", "M")),
+        WorkloadMix("mix-LLLL", ("L", "L", "L", "L")),
+        WorkloadMix("mix-HMLM", ("H", "M", "L", "M")),
+    ]
+    rng = random.Random(seed)
+    mixes = list(canonical[:n])
+    while len(mixes) < n:
+        classes = tuple(rng.choice("LMH") for _ in range(4))
+        mixes.append(WorkloadMix(f"mix-{''.join(classes)}-{len(mixes)}",
+                                 classes))  # type: ignore[arg-type]
+    return mixes
+
+
+def apps_for_mix(mix: WorkloadMix, org: DramOrg, n_requests: int,
+                 seed: int = 0) -> list[AppSpec]:
+    """Expand a mix into four app specs with disjoint row regions."""
+    mix.validate()
+    all_banks = tuple((bg, b) for bg in range(org.bankgroups)
+                      for b in range(org.banks_per_group))
+    apps = []
+    for core, cls in enumerate(mix.classes):
+        base = spec_like_app(cls, f"{mix.name}-core{core}",
+                             seed=seed * 97 + core, banks=all_banks,
+                             n_requests=n_requests)
+        # Give each core a private row region so working sets do not
+        # alias (they still share banks, hence interfere).
+        region = 4096 + core * 8192
+        apps.append(AppSpec(
+            name=base.name, think_ps=base.think_ps,
+            p_row_hit=base.p_row_hit, n_rows=base.n_rows,
+            banks=base.banks, n_requests=base.n_requests,
+            seed=base.seed, rank=base.rank, row_base=region))
+    return apps

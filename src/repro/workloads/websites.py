@@ -1,0 +1,159 @@
+"""Synthetic website-load traces (substitute for the paper's Intel Pin
+traces of a real browser loading 40 top websites).
+
+Each :class:`WebsiteProfile` is a seeded *phase model* of a browser
+load: a site-specific sequence of loading phases (network wait, DOM
+build, script execution, media decode, ...) each with its own duration
+share, access rate, DRAM bank, working-set size and -- crucially -- an
+optional *hot row pair* that the phase hammers (large JS heaps and
+media buffers revisit a small set of rows, which is what makes browser
+loads trigger PRAC back-offs at low RowHammer thresholds).
+
+The properties the side channel needs are preserved by construction:
+
+* repeated loads of one site produce *similar* back-off patterns
+  (phases are fixed per site; only jitter varies per trace), and
+* different sites produce *different* patterns (phase structure is
+  drawn from the site's seed).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.dram.address import AddressMapper
+from repro.sim.engine import NS
+
+#: The 40 websites the paper fingerprints (footnote 5).
+PAPER_WEBSITES = (
+    "aliexpress", "amazon", "apple", "baidu", "bilibili", "bing", "canva",
+    "chatgpt", "discord", "duckduckgo", "facebook", "fandom", "github",
+    "globo", "imdb", "instagram", "linkedin", "live", "naver", "netflix",
+    "nytimes", "office", "pinterest", "quora", "reddit", "roblox",
+    "samsung", "spotify", "telegram", "temu", "tiktok", "twitch",
+    "weather", "whatsapp", "wikipedia", "x", "yahoo", "yandex", "youtube",
+    "zoom",
+)
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One loading phase of a website."""
+
+    duration_share: float  #: fraction of the load duration
+    gap_ps: int  #: mean time between memory accesses
+    bankgroup: int
+    bank: int
+    n_rows: int  #: working-set rows
+    hot_pair: bool  #: hammer two alternating rows (drives back-offs)
+    hot_fraction: float  #: fraction of accesses going to the hot pair
+
+
+@dataclass(frozen=True)
+class WebsiteProfile:
+    """A seeded per-site phase model."""
+
+    name: str
+    seed: int
+    phases: tuple[Phase, ...]
+
+    @classmethod
+    def generate(cls, name: str, seed: int,
+                 bankgroups: int = 8, banks_per_group: int = 4
+                 ) -> "WebsiteProfile":
+        rng = random.Random(seed)
+        n_phases = rng.randint(3, 7)
+        shares = [rng.uniform(0.5, 2.0) for _ in range(n_phases)]
+        total = sum(shares)
+        phases = []
+        for share in shares:
+            phases.append(Phase(
+                duration_share=share / total,
+                gap_ps=rng.randrange(80 * NS, 400 * NS),
+                bankgroup=rng.randrange(bankgroups),
+                bank=rng.randrange(banks_per_group),
+                n_rows=rng.randrange(8, 64),
+                hot_pair=rng.random() < 0.7,
+                hot_fraction=rng.uniform(0.5, 0.95),
+            ))
+        return cls(name=name, seed=seed, phases=tuple(phases))
+
+    # ------------------------------------------------------------------
+    def trace(self, duration_ps: int, trace_seed: int,
+              mapper: AddressMapper,
+              row_base: int = 32768) -> list[tuple[int, int]]:
+        """One browser-load trace: (time offset, address) records.
+
+        ``trace_seed`` controls per-load jitter: timing wobble, working
+        set placement, and the random tail of non-hot accesses -- the
+        load-to-load variation that makes classification non-trivial.
+        """
+        rng = random.Random((self.seed << 20) ^ trace_seed)
+        records: list[tuple[int, int]] = []
+        # Load-to-load variability: network delay shifts the whole load,
+        # and each phase's duration and access rate wobble (server
+        # response times, JIT warm-up, ...).
+        t = int(rng.uniform(0.0, 0.10) * duration_ps)
+        for phase in self.phases:
+            duration_scale = rng.uniform(0.8, 1.2)
+            rate_scale = rng.uniform(0.8, 1.25)
+            phase_end = min(duration_ps, t + int(
+                phase.duration_share * duration_ps * duration_scale))
+            base = row_base + rng.randrange(0, 512)
+            # Hot traffic: two *concurrent streams* walking through
+            # rows of the same bank (image decode + JS heap, say).
+            # Interleaved fresh-line accesses conflict in the row
+            # buffer, so activation counters ramp -- and because every
+            # line is new, the pattern survives any cache hierarchy
+            # (the real mechanism by which browser loads trip PRAC).
+            stream_rows = [base, base + 64]
+            stream_cols = [0, 0]
+            stream_idx = 0
+            cols = mapper.org.cols_per_row
+            while t < phase_end:
+                if phase.hot_pair and rng.random() < phase.hot_fraction:
+                    s = stream_idx
+                    stream_idx ^= 1
+                    row = stream_rows[s]
+                    col = stream_cols[s]
+                    stream_cols[s] += 1
+                    if stream_cols[s] >= cols:
+                        stream_cols[s] = 0
+                        stream_rows[s] += 1
+                else:
+                    # Background accesses re-touch a small set of lines
+                    # per row (LLC-filterable locality, Section 10.3).
+                    row = base + 8 + rng.randrange(phase.n_rows)
+                    col = rng.randrange(min(16, cols))
+                addr = mapper.encode(
+                    bankgroup=phase.bankgroup, bank=phase.bank, row=row,
+                    col=col)
+                records.append((t, addr))
+                jitter = rng.uniform(0.7, 1.3)
+                t += max(1, int(phase.gap_ps * rate_scale * jitter))
+        return records
+
+
+class WebsiteCatalog:
+    """A deterministic catalog of website profiles."""
+
+    def __init__(self, n_sites: int, seed: int = 0) -> None:
+        if not 1 <= n_sites <= len(PAPER_WEBSITES):
+            raise ValueError(
+                f"n_sites must be within [1, {len(PAPER_WEBSITES)}]")
+        self.seed = seed
+        self.profiles = [
+            WebsiteProfile.generate(name, seed * 1000 + i)
+            for i, name in enumerate(PAPER_WEBSITES[:n_sites])
+        ]
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __iter__(self):
+        return iter(self.profiles)
+
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.profiles]

@@ -1,0 +1,56 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.config import (
+    DefenseKind,
+    DefenseParams,
+    RefreshPolicy,
+    SystemConfig,
+)
+from repro.system import MemorySystem
+
+
+@pytest.fixture
+def plain_config() -> SystemConfig:
+    """No defense, no periodic refresh: pure DRAM timing."""
+    return SystemConfig(refresh_policy=RefreshPolicy.NONE)
+
+
+@pytest.fixture
+def prac_config() -> SystemConfig:
+    return SystemConfig(
+        defense=DefenseParams(kind=DefenseKind.PRAC, nbo=32),
+        refresh_policy=RefreshPolicy.NONE)
+
+
+@pytest.fixture
+def plain_system(plain_config) -> MemorySystem:
+    return MemorySystem(plain_config)
+
+
+def make_system(kind: DefenseKind = DefenseKind.NONE,
+                refresh: RefreshPolicy = RefreshPolicy.NONE,
+                **defense_kwargs) -> MemorySystem:
+    """One-line system construction for tests."""
+    return MemorySystem(SystemConfig(
+        defense=DefenseParams(kind=kind, **defense_kwargs),
+        refresh_policy=refresh))
+
+
+def drain(system: MemorySystem, until: int) -> None:
+    system.sim.run(until=until)
+
+
+def single_read(system: MemorySystem, addr: int) -> "Request":
+    """Submit one read and run until it completes; returns the request."""
+    done = []
+    system.submit(addr, done.append)
+    limit = system.sim.now + 100_000_000
+    while not done and system.sim.now < limit:
+        if system.sim.run(until=system.sim.now + 1_000_000) == 0 and not done:
+            break
+    assert done, "request did not complete"
+    return done[0]

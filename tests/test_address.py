@@ -1,0 +1,115 @@
+"""Unit and property tests for the address mapper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper, Coord
+from repro.sim.config import DramOrg
+
+
+@pytest.fixture
+def mapper() -> AddressMapper:
+    return AddressMapper(DramOrg())
+
+
+class TestEncodeDecode:
+    def test_zero_maps_to_origin(self, mapper):
+        coord = mapper.decode(0)
+        assert coord == Coord(rank=0, bankgroup=0, bank=0, row=0, col=0)
+
+    def test_encode_decode_roundtrip_simple(self, mapper):
+        addr = mapper.encode(bankgroup=3, bank=2, row=777, col=5)
+        coord = mapper.decode(addr)
+        assert (coord.bankgroup, coord.bank, coord.row, coord.col) == \
+            (3, 2, 777, 5)
+
+    def test_distinct_rows_differ_only_in_row_bits(self, mapper):
+        a = mapper.decode(mapper.encode(bankgroup=1, bank=1, row=10))
+        b = mapper.decode(mapper.encode(bankgroup=1, bank=1, row=11))
+        assert a.row != b.row
+        assert (a.bankgroup, a.bank, a.col) == (b.bankgroup, b.bank, b.col)
+
+    def test_rejects_out_of_range_coordinates(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.encode(bankgroup=8)
+        with pytest.raises(ValueError):
+            mapper.encode(bank=4)
+        with pytest.raises(ValueError):
+            mapper.encode(row=1 << 17)
+        with pytest.raises(ValueError):
+            mapper.encode(rank=1)
+        with pytest.raises(ValueError):
+            mapper.encode(col=1 << 7)
+
+    def test_rejects_out_of_range_address(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.decode(-1)
+        with pytest.raises(ValueError):
+            mapper.decode(1 << mapper.address_bits)
+
+    @given(st.data())
+    def test_roundtrip_bijection(self, data):
+        org = DramOrg(ranks=2)
+        mapper = AddressMapper(org)
+        rank = data.draw(st.integers(0, org.ranks - 1))
+        bg = data.draw(st.integers(0, org.bankgroups - 1))
+        bank = data.draw(st.integers(0, org.banks_per_group - 1))
+        row = data.draw(st.integers(0, org.rows_per_bank - 1))
+        col = data.draw(st.integers(0, org.cols_per_row - 1))
+        addr = mapper.encode(rank=rank, bankgroup=bg, bank=bank, row=row,
+                             col=col)
+        coord = mapper.decode(addr)
+        assert coord == Coord(rank=rank, bankgroup=bg, bank=bank, row=row,
+                              col=col)
+        assert mapper.encode(rank=coord.rank, bankgroup=coord.bankgroup,
+                             bank=coord.bank, row=coord.row,
+                             col=coord.col) == addr
+
+    @given(st.integers(min_value=0))
+    def test_decode_encode_identity(self, seed):
+        mapper = AddressMapper(DramOrg())
+        addr = seed % (1 << mapper.address_bits)
+        # Clear the line-offset bits: the mapper addresses lines.
+        addr &= ~(mapper.org.line_bytes - 1)
+        coord = mapper.decode(addr)
+        assert mapper.encode(rank=coord.rank, bankgroup=coord.bankgroup,
+                             bank=coord.bank, row=coord.row,
+                             col=coord.col) == addr
+
+
+class TestBankFlattening:
+    def test_flat_bank_is_bankgroup_major(self, mapper):
+        coord = mapper.decode(mapper.encode(bankgroup=3, bank=2))
+        assert mapper.flat_bank(coord) == 3 * 4 + 2
+
+    def test_unflatten_inverts_flatten(self, mapper):
+        for flat in range(mapper.org.banks_per_rank):
+            bg, bank = mapper.unflatten_bank(flat)
+            coord = mapper.decode(mapper.encode(bankgroup=bg, bank=bank))
+            assert mapper.flat_bank(coord) == flat
+
+    def test_unflatten_rejects_out_of_range(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.unflatten_bank(32)
+
+
+class TestSameBankRows:
+    def test_rows_share_the_bank(self, mapper):
+        addrs = mapper.same_bank_rows(4, bankgroup=2, bank=1)
+        coords = [mapper.decode(a) for a in addrs]
+        assert len({(c.bankgroup, c.bank) for c in coords}) == 1
+        assert len({c.row for c in coords}) == 4
+
+    def test_stride_spaces_rows(self, mapper):
+        addrs = mapper.same_bank_rows(3, stride=8)
+        rows = [mapper.decode(a).row for a in addrs]
+        assert rows == [0, 8, 16]
+
+    def test_rejects_overflowing_rows(self, mapper):
+        with pytest.raises(ValueError):
+            mapper.same_bank_rows(10, first_row=(1 << 17) - 4)
+
+    def test_rejects_non_power_of_two_geometry(self):
+        with pytest.raises(ValueError):
+            AddressMapper(DramOrg(bankgroups=3))

@@ -1,0 +1,202 @@
+"""Tests for the cache substrate and Best-Offset prefetcher."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import (
+    AccessOutcome,
+    CacheHierarchy,
+    HierarchyConfig,
+    LevelSpec,
+)
+from repro.cache.prefetcher import BestOffsetPrefetcher
+
+
+def tiny_cache(ways=2, sets=4) -> Cache:
+    return Cache(size_bytes=64 * ways * sets, ways=ways, line_bytes=64)
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = tiny_cache()
+        assert not cache.lookup(0)
+        cache.fill(0)
+        assert cache.lookup(0)
+
+    def test_same_line_different_bytes_hit(self):
+        cache = tiny_cache()
+        cache.fill(0)
+        assert cache.lookup(63)
+        assert not cache.lookup(64)
+
+    def test_lru_eviction_order(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(64)
+        victim = cache.fill(128)  # evicts line 0 (LRU)
+        assert victim == 0
+        assert not cache.lookup(0)
+        assert cache.lookup(64)
+
+    def test_lookup_refreshes_lru(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(64)
+        cache.lookup(0)  # 0 becomes MRU
+        victim = cache.fill(128)
+        assert victim == 64
+
+    def test_refill_existing_line_no_eviction(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(64)
+        assert cache.fill(0) is None
+
+    def test_invalidate_clflush(self):
+        cache = tiny_cache()
+        cache.fill(0)
+        assert cache.invalidate(0)
+        assert not cache.lookup(0)
+        assert not cache.invalidate(0)  # already gone
+
+    def test_contains_does_not_touch_lru(self):
+        cache = tiny_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(64)
+        cache.contains(0)
+        victim = cache.fill(128)
+        assert victim == 0  # 0 still LRU despite contains()
+
+    def test_set_indexing_separates_lines(self):
+        cache = tiny_cache(ways=1, sets=4)
+        cache.fill(0)        # set 0
+        cache.fill(64)       # set 1
+        assert cache.lookup(0) and cache.lookup(64)
+
+    def test_hit_miss_counters(self):
+        cache = tiny_cache()
+        cache.lookup(0)
+        cache.fill(0)
+        cache.lookup(0)
+        assert cache.misses == 1 and cache.hits == 1
+
+    def test_occupancy(self):
+        cache = tiny_cache()
+        for i in range(3):
+            cache.fill(i * 64)
+        assert cache.occupancy == 3
+
+    def test_non_power_of_two_sets_allowed(self):
+        cache = Cache(size_bytes=6 * 1024 * 1024, ways=16)
+        assert cache.n_sets == 6144
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(size_bytes=0, ways=1)
+        with pytest.raises(ValueError):
+            Cache(size_bytes=100, ways=3)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 20),
+                    min_size=1, max_size=200))
+    def test_occupancy_never_exceeds_capacity(self, addrs):
+        cache = tiny_cache(ways=2, sets=4)
+        for addr in addrs:
+            if not cache.lookup(addr):
+                cache.fill(addr)
+        assert cache.occupancy <= 8
+
+
+class TestHierarchy:
+    def test_miss_returns_demand_fetch(self):
+        hierarchy = CacheHierarchy()
+        outcome = hierarchy.access(0)
+        assert outcome.hit_level is None
+        assert outcome.dram_addresses == [0]
+
+    def test_fill_then_l1_hit(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.fill(0)
+        outcome = hierarchy.access(0)
+        assert outcome.hit_level == 0
+
+    def test_l1_eviction_leaves_llc_hit(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.fill(0)
+        # Stream enough lines through the same L1 set to evict line 0.
+        l1_sets = hierarchy.caches[0].n_sets
+        for i in range(1, 10):
+            hierarchy.fill(i * l1_sets * 64)
+        outcome = hierarchy.access(0)
+        assert outcome.hit_level == 1
+
+    def test_clflush_removes_from_all_levels(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.fill(0)
+        hierarchy.clflush(0)
+        assert hierarchy.access(0).hit_level is None
+
+    def test_latency_accumulates_down_the_hierarchy(self):
+        hierarchy = CacheHierarchy(HierarchyConfig.large())
+        hierarchy.fill(0)
+        l1_hit = hierarchy.access(0).latency_ps
+        full_miss = hierarchy.access(10 ** 9).latency_ps
+        assert full_miss > l1_hit
+        assert full_miss == hierarchy.miss_latency
+
+    def test_large_config_has_three_levels(self):
+        assert len(HierarchyConfig.large().levels) == 3
+        assert HierarchyConfig.large().prefetch
+
+    def test_prefetch_fill_goes_to_l2_only(self):
+        hierarchy = CacheHierarchy(HierarchyConfig.large())
+        hierarchy.fill(0, prefetch=True)
+        outcome = hierarchy.access(0)
+        assert outcome.hit_level == 1  # L2, not L1
+
+    def test_stats_reporting(self):
+        hierarchy = CacheHierarchy()
+        hierarchy.access(0)
+        stats = hierarchy.stats()
+        assert stats["L1"]["misses"] == 1
+
+
+class TestBestOffsetPrefetcher:
+    def test_learns_constant_stride(self):
+        prefetcher = BestOffsetPrefetcher(offsets=(1, 2, 4))
+        # Stream with stride 2 lines; after training rounds the best
+        # offset should become 2.
+        for i in range(600):
+            prefetcher.on_access(i * 2 * 64)
+        assert prefetcher.best_offset == 2
+
+    def test_prefetch_address_is_offset_ahead(self):
+        prefetcher = BestOffsetPrefetcher(offsets=(1,))
+        addr = prefetcher.on_access(0)
+        assert addr == prefetcher.best_offset * 64
+
+    def test_random_stream_disables_prefetching(self):
+        import random
+        rng = random.Random(1)
+        prefetcher = BestOffsetPrefetcher(offsets=(1, 2))
+        for _ in range(3000):
+            prefetcher.on_access(rng.randrange(1 << 30) * 64)
+        assert not prefetcher.prefetch_enabled
+
+    def test_record_fill_populates_rr_table(self):
+        prefetcher = BestOffsetPrefetcher(offsets=(1,))
+        prefetcher.record_fill(64 * (1 + 1))  # base line = 1
+        prefetcher.on_access(64 * 2)  # line 2; candidate 1: line 1 in RR
+        assert prefetcher._scores[1] >= 1
+
+    def test_rejects_empty_offsets(self):
+        with pytest.raises(ValueError):
+            BestOffsetPrefetcher(offsets=())
+
+    def test_prefetch_counter(self):
+        prefetcher = BestOffsetPrefetcher()
+        for i in range(10):
+            prefetcher.on_access(i * 64)
+        assert prefetcher.prefetches_issued == 10

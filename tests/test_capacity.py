@@ -1,0 +1,108 @@
+"""Tests for channel-capacity math (Eq. 1) and rate helpers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.capacity import (
+    binary_entropy,
+    channel_capacity_bps,
+    error_probability,
+    raw_bit_rate_bps,
+)
+from repro.sim.engine import US
+
+
+class TestBinaryEntropy:
+    def test_zero_error_has_zero_entropy(self):
+        assert binary_entropy(0.0) == 0.0
+        assert binary_entropy(1.0) == 0.0
+
+    def test_maximum_at_half(self):
+        assert binary_entropy(0.5) == 1.0
+
+    def test_known_value(self):
+        # H(0.11) ~ 0.4999, the classic near-half-bit example.
+        assert abs(binary_entropy(0.11) - 0.4999) < 0.001
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            binary_entropy(-0.1)
+        with pytest.raises(ValueError):
+            binary_entropy(1.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_bounded_in_unit_interval(self, e):
+        assert 0.0 <= binary_entropy(e) <= 1.0
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_symmetry(self, e):
+        assert abs(binary_entropy(e) - binary_entropy(1.0 - e)) < 1e-9
+
+    @given(st.floats(min_value=0.001, max_value=0.499))
+    def test_monotone_up_to_half(self, e):
+        assert binary_entropy(e) < binary_entropy(e + 0.001)
+
+
+class TestChannelCapacity:
+    def test_error_free_capacity_is_raw_rate(self):
+        assert channel_capacity_bps(39_000, 0.0) == 39_000
+
+    def test_half_error_capacity_is_zero(self):
+        assert channel_capacity_bps(39_000, 0.5) == 0.0
+
+    def test_paper_fig4_point(self):
+        # 40 Kbps raw at e = 0.05 -> ~28.6 Kbps (paper reports 28.8 at
+        # its 39.0 Kbps raw rate).
+        capacity = channel_capacity_bps(40_000, 0.05)
+        assert 28_000 < capacity < 30_000
+
+    def test_rejects_negative_rate(self):
+        with pytest.raises(ValueError):
+            channel_capacity_bps(-1, 0.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_capacity_never_exceeds_raw_rate(self, e):
+        assert 0.0 <= channel_capacity_bps(50_000, e) <= 50_000
+
+
+class TestErrorProbability:
+    def test_all_correct(self):
+        assert error_probability([1, 0, 1], [1, 0, 1]) == 0.0
+
+    def test_all_wrong(self):
+        assert error_probability([1, 1], [0, 0]) == 1.0
+
+    def test_partial(self):
+        assert error_probability([1, 0, 1, 0], [1, 1, 1, 0]) == 0.25
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            error_probability([1], [1, 0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            error_probability([], [])
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=100))
+    def test_identity_is_error_free(self, symbols):
+        assert error_probability(symbols, list(symbols)) == 0.0
+
+
+class TestRawBitRate:
+    def test_25us_window_is_40kbps(self):
+        assert raw_bit_rate_bps(25 * US, 1.0) == pytest.approx(40_000)
+
+    def test_20us_window_is_50kbps(self):
+        assert raw_bit_rate_bps(20 * US, 1.0) == pytest.approx(50_000)
+
+    def test_quaternary_doubles_rate(self):
+        binary = raw_bit_rate_bps(25 * US, 1.0)
+        quaternary = raw_bit_rate_bps(25 * US, math.log2(4))
+        assert quaternary == pytest.approx(2 * binary)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            raw_bit_rate_bps(0, 1.0)

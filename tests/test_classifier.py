@@ -1,0 +1,135 @@
+"""Tests for the latency classifier (Section 6.2 observability)."""
+
+import pytest
+
+from repro.core.probe import EventKind, LatencyClassifier
+from repro.sim.config import (
+    DefenseKind,
+    DefenseParams,
+    RefreshPolicy,
+    SystemConfig,
+)
+from repro.sim.engine import NS
+
+
+def config_for(kind: DefenseKind, policy=RefreshPolicy.POSTPONE_PAIR,
+               **defense_kwargs) -> SystemConfig:
+    return SystemConfig(defense=DefenseParams(kind=kind, **defense_kwargs),
+                        refresh_policy=policy)
+
+
+class TestLevelConstruction:
+    def test_plain_system_has_hit_conflict_refresh(self):
+        clf = LatencyClassifier(config_for(DefenseKind.NONE))
+        kinds = [lv.kind for lv in clf.levels]
+        assert kinds == [EventKind.HIT, EventKind.CONFLICT,
+                         EventKind.REFRESH]
+
+    def test_no_refresh_level_without_refresh(self):
+        clf = LatencyClassifier(config_for(DefenseKind.NONE,
+                                           policy=RefreshPolicy.NONE))
+        assert all(lv.kind is not EventKind.REFRESH for lv in clf.levels)
+
+    def test_prac_adds_backoff_level(self):
+        clf = LatencyClassifier(config_for(DefenseKind.PRAC))
+        assert clf.level_of(EventKind.BACKOFF) > clf.level_of(
+            EventKind.REFRESH)
+
+    def test_prfm_adds_rfm_level(self):
+        clf = LatencyClassifier(config_for(DefenseKind.PRFM))
+        cfg = config_for(DefenseKind.PRFM)
+        expected = (cfg.frontend_latency + cfg.loop_overhead
+                    + cfg.timing.tRP + cfg.timing.tRCD + cfg.timing.tCL
+                    + cfg.timing.tBL + cfg.timing.tRFM_SB)
+        assert clf.level_of(EventKind.RFM) == expected
+
+    def test_levels_sorted_ascending(self):
+        clf = LatencyClassifier(config_for(DefenseKind.PRAC))
+        deltas = [lv.delta_ps for lv in clf.levels]
+        assert deltas == sorted(deltas)
+
+    def test_level_of_missing_kind_raises(self):
+        clf = LatencyClassifier(config_for(DefenseKind.NONE))
+        with pytest.raises(KeyError):
+            clf.level_of(EventKind.BACKOFF)
+
+    def test_backoff_override_moves_level(self):
+        clf = LatencyClassifier(config_for(
+            DefenseKind.PRAC, backoff_latency_override=50 * NS))
+        gap = (clf.level_of(EventKind.BACKOFF)
+               - clf.level_of(EventKind.CONFLICT))
+        assert gap == 50 * NS
+
+
+class TestClassification:
+    def test_exact_levels_classify_to_themselves(self):
+        clf = LatencyClassifier(config_for(DefenseKind.PRAC))
+        for level in clf.levels:
+            assert clf.classify(level.delta_ps) is level.kind
+
+    def test_between_levels_goes_to_nearest(self):
+        clf = LatencyClassifier(config_for(DefenseKind.PRAC))
+        hit = clf.level_of(EventKind.HIT)
+        conflict = clf.level_of(EventKind.CONFLICT)
+        assert clf.classify(hit + 1) is EventKind.HIT
+        assert clf.classify(conflict - 1) is EventKind.CONFLICT
+
+    def test_huge_latency_is_backoff(self):
+        clf = LatencyClassifier(config_for(DefenseKind.PRAC))
+        assert clf.classify(10_000 * NS) is EventKind.BACKOFF
+
+    def test_is_preventive_predicates(self):
+        clf = LatencyClassifier(config_for(DefenseKind.PRAC))
+        backoff = clf.level_of(EventKind.BACKOFF)
+        assert clf.is_backoff(backoff)
+        assert clf.is_preventive(backoff)
+        assert not clf.is_preventive(clf.level_of(EventKind.HIT))
+
+    def test_histogram(self):
+        clf = LatencyClassifier(config_for(DefenseKind.PRAC))
+        deltas = [clf.level_of(EventKind.HIT)] * 3 + \
+            [clf.level_of(EventKind.BACKOFF)]
+        hist = clf.histogram(deltas)
+        assert hist[EventKind.HIT] == 3
+        assert hist[EventKind.BACKOFF] == 1
+
+
+class TestResolutionGuard:
+    def test_tiny_preventive_latency_indistinguishable(self):
+        """Fig. 12's key mechanism: below the measurement resolution,
+        a back-off collapses into the row-conflict level."""
+        clf = LatencyClassifier(config_for(
+            DefenseKind.PRAC, backoff_latency_override=5 * NS))
+        backoff_level = clf.level_of(EventKind.BACKOFF)
+        assert clf.classify(backoff_level) is EventKind.CONFLICT
+
+    def test_latency_above_resolution_distinguishable(self):
+        clf = LatencyClassifier(config_for(
+            DefenseKind.PRAC, backoff_latency_override=25 * NS))
+        assert clf.classify(clf.level_of(EventKind.BACKOFF)) \
+            is EventKind.BACKOFF
+
+    def test_custom_resolution(self):
+        # At 30 ns resolution a 25 ns back-off merges into the conflict
+        # level, while conflict vs hit (32 ns apart) stays separable.
+        clf = LatencyClassifier(config_for(
+            DefenseKind.PRAC, backoff_latency_override=25 * NS),
+            resolution_ps=30 * NS)
+        assert clf.classify(clf.level_of(EventKind.BACKOFF)) \
+            is EventKind.CONFLICT
+
+    def test_coarse_resolution_merges_transitively(self):
+        # At 40 ns resolution hit/conflict/short-back-off all collapse.
+        clf = LatencyClassifier(config_for(
+            DefenseKind.PRAC, backoff_latency_override=25 * NS),
+            resolution_ps=40 * NS)
+        assert clf.classify(clf.level_of(EventKind.BACKOFF)) \
+            is EventKind.HIT
+
+    def test_sample_classification(self):
+        from repro.cpu.probe import LatencySample
+        clf = LatencyClassifier(config_for(DefenseKind.PRAC))
+        sample = LatencySample(end_time=100,
+                               delta=clf.level_of(EventKind.REFRESH),
+                               addr=0)
+        assert clf.classify_sample(sample) is EventKind.REFRESH

@@ -1,0 +1,113 @@
+"""Unit tests for configuration dataclasses and security mappings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.config import (
+    DefenseKind,
+    DefenseParams,
+    DramOrg,
+    DramTiming,
+    RefreshPolicy,
+    SystemConfig,
+    nbo_for_nrh,
+    trfm_for_nrh,
+)
+
+
+class TestDramTiming:
+    def test_defaults_are_consistent(self):
+        DramTiming().validate()
+
+    def test_trc_is_tras_plus_trp(self):
+        t = DramTiming()
+        assert t.tRC == t.tRAS + t.tRP
+
+    def test_rejects_nonpositive_parameter(self):
+        with pytest.raises(ValueError):
+            DramTiming(tRCD=0).validate()
+
+    def test_rejects_tras_below_trcd(self):
+        with pytest.raises(ValueError):
+            DramTiming(tRAS=1, tRCD=2_000_000).validate()
+
+    def test_rejects_refw_below_refi(self):
+        with pytest.raises(ValueError):
+            DramTiming(tREFW=1, tREFI=2).validate()
+
+
+class TestDramOrg:
+    def test_defaults_match_paper_table1(self):
+        org = DramOrg()
+        assert org.bankgroups == 8
+        assert org.banks_per_group == 4
+        assert org.rows_per_bank == 128 * 1024
+        assert org.banks_per_rank == 32
+
+    def test_total_banks_counts_ranks(self):
+        assert DramOrg(ranks=2).total_banks == 64
+
+    def test_rejects_nonpositive_field(self):
+        with pytest.raises(ValueError):
+            DramOrg(bankgroups=0).validate()
+
+
+class TestSecurityMappings:
+    def test_nbo_default_fraction(self):
+        assert nbo_for_nrh(1024) == 256
+        assert nbo_for_nrh(64) == 16
+
+    def test_trfm_scales_with_nrh(self):
+        assert trfm_for_nrh(1024) == 128
+        assert trfm_for_nrh(64) == 8
+
+    def test_rejects_tiny_nrh(self):
+        with pytest.raises(ValueError):
+            nbo_for_nrh(1)
+        with pytest.raises(ValueError):
+            trfm_for_nrh(0)
+
+    @given(st.integers(min_value=2, max_value=1 << 20))
+    def test_mappings_are_positive_and_monotone(self, nrh):
+        assert 1 <= nbo_for_nrh(nrh) <= nrh
+        assert 1 <= trfm_for_nrh(nrh) <= nrh
+        assert nbo_for_nrh(2 * nrh) >= nbo_for_nrh(nrh)
+        assert trfm_for_nrh(2 * nrh) >= trfm_for_nrh(nrh)
+
+    def test_for_nrh_builds_secure_params(self):
+        params = DefenseParams.for_nrh(DefenseKind.PRAC, 512)
+        assert params.kind is DefenseKind.PRAC
+        assert params.nbo == nbo_for_nrh(512)
+        assert params.trfm == trfm_for_nrh(512)
+
+    def test_for_nrh_accepts_overrides(self):
+        params = DefenseParams.for_nrh(DefenseKind.PRFM, 512, trfm=40)
+        assert params.trfm == 40
+
+
+class TestSystemConfig:
+    def test_default_validates(self):
+        SystemConfig().validate()
+
+    def test_rejects_bad_column_cap(self):
+        with pytest.raises(ValueError):
+            SystemConfig(column_cap=0).validate()
+
+    def test_rejects_bad_queue_size(self):
+        with pytest.raises(ValueError):
+            SystemConfig(queue_size=0).validate()
+
+    def test_with_defense_returns_new_config(self):
+        base = SystemConfig()
+        new = base.with_defense(DefenseParams(kind=DefenseKind.PRAC))
+        assert base.defense.kind is DefenseKind.NONE
+        assert new.defense.kind is DefenseKind.PRAC
+
+    def test_with_overrides_arbitrary_fields(self):
+        cfg = SystemConfig().with_(column_cap=4)
+        assert cfg.column_cap == 4
+
+    def test_refresh_policy_enum_values(self):
+        assert RefreshPolicy("postpone-pair") is RefreshPolicy.POSTPONE_PAIR
+        assert DefenseKind("fr-rfm") is DefenseKind.FRRFM

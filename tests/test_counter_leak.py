@@ -1,0 +1,69 @@
+"""Tests for the activation-counter value leak (Section 9.1)."""
+
+import pytest
+
+from repro.core.counter_leak import (
+    CounterLeakAttack,
+    CounterLeakConfig,
+    LeakObservation,
+)
+
+
+@pytest.fixture(scope="module")
+def attack() -> CounterLeakAttack:
+    return CounterLeakAttack(CounterLeakConfig(nbo=128))
+
+
+class TestLeak:
+    def test_leaks_values_within_one(self, attack):
+        for secret in (5, 37, 64, 100, 126):
+            obs = attack.leak(secret)
+            assert obs.abs_error <= 1, f"secret {secret}: got {obs.estimate}"
+
+    def test_elapsed_time_in_paper_ballpark(self, attack):
+        """Paper: ~13.6 us per 7-bit value on average."""
+        outcome = attack.run([16, 48, 80, 112])
+        assert 2.0 < outcome["mean_elapsed_us"] < 40.0
+
+    def test_throughput_hundreds_of_kbps(self, attack):
+        outcome = attack.run([32, 96])
+        assert outcome["throughput_kbps"] > 100.0
+
+    def test_smaller_secret_takes_longer(self, attack):
+        """The back-off fires after N_BO - v attacker activations, so
+        small counter values take longer to leak."""
+        small = attack.leak(8)
+        large = attack.leak(120)
+        assert small.elapsed_ps > large.elapsed_ps
+
+    def test_bits_per_value(self, attack):
+        outcome = attack.run([10])
+        assert outcome["bits_per_value"] == 7.0
+
+    def test_calibration_cached(self, attack):
+        first = attack.calibrate()
+        assert attack.calibrate() == first
+
+    def test_rejects_out_of_range_secret(self, attack):
+        with pytest.raises(ValueError):
+            attack.leak(128)
+        with pytest.raises(ValueError):
+            attack.leak(-1)
+
+    def test_observation_properties(self):
+        obs = LeakObservation(secret=5, estimate=5, elapsed_ps=1000)
+        assert obs.correct and obs.abs_error == 0
+        obs2 = LeakObservation(secret=5, estimate=7, elapsed_ps=1000)
+        assert not obs2.correct and obs2.abs_error == 2
+
+    def test_accuracy_metrics_consistent(self, attack):
+        outcome = attack.run([20, 60, 100])
+        assert 0.0 <= outcome["accuracy"] <= outcome["accuracy_within_1"] <= 1.0
+
+
+class TestDifferentNbo:
+    def test_nbo_64(self):
+        attack = CounterLeakAttack(CounterLeakConfig(nbo=64))
+        outcome = attack.run([13, 47])
+        assert outcome["accuracy_within_1"] == 1.0
+        assert outcome["bits_per_value"] == 6.0

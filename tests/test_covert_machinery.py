@@ -1,0 +1,104 @@
+"""Unit tests for the shared covert-channel machinery and stats log."""
+
+import math
+
+import pytest
+
+from repro.core.covert import (
+    TransmissionResult,
+    WindowedSender,
+    bits_per_symbol,
+)
+from repro.core.probe import LatencyClassifier
+from repro.sim.config import DefenseKind, DefenseParams, SystemConfig
+from repro.sim.engine import US
+from repro.sim.stats import BlockInterval, BlockKind, MemoryStats
+from repro.system import MemorySystem
+
+
+class TestBitsPerSymbol:
+    def test_binary(self):
+        assert bits_per_symbol(2) == 1.0
+
+    def test_quaternary(self):
+        assert bits_per_symbol(4) == 2.0
+
+    def test_ternary(self):
+        assert bits_per_symbol(3) == pytest.approx(math.log2(3))
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            bits_per_symbol(1)
+
+
+class TestTransmissionResult:
+    def _result(self, sent, decoded, window_us=25):
+        return TransmissionResult(sent=sent, decoded=decoded,
+                                  window_ps=window_us * US,
+                                  bits_per_symbol=1.0)
+
+    def test_error_free_capacity_equals_raw(self):
+        result = self._result([1, 0, 1], [1, 0, 1])
+        assert result.capacity_bps == result.raw_bit_rate_bps
+
+    def test_error_probability(self):
+        result = self._result([1, 0, 1, 0], [1, 1, 1, 0])
+        assert result.error_probability == 0.25
+
+    def test_summary_keys(self):
+        summary = self._result([1], [1]).summary()
+        assert {"raw_bit_rate_kbps", "error_probability",
+                "capacity_kbps"} <= set(summary)
+
+    def test_kbps_scaling(self):
+        result = self._result([1, 0], [1, 0])
+        assert result.kbps == pytest.approx(result.capacity_bps / 1e3)
+
+
+class TestWindowedSenderValidation:
+    def test_rejects_symbols_without_gap_entry(self):
+        system = MemorySystem(SystemConfig(
+            defense=DefenseParams(kind=DefenseKind.PRAC)))
+        classifier = LatencyClassifier(system.config)
+        with pytest.raises(ValueError):
+            WindowedSender(system, 0, [0, 7], epoch=0, window_ps=25 * US,
+                           gaps={0: None, 1: 0}, classifier=classifier)
+
+
+class TestStatsBlockLog:
+    def test_blocks_in_window_overlap_semantics(self):
+        stats = MemoryStats()
+        stats.record_block(BlockInterval(BlockKind.REF, 100, 200, 0))
+        stats.record_block(BlockInterval(BlockKind.RFM, 300, 400, 0))
+        # Half-open query window [150, 350) overlaps both.
+        assert len(stats.blocks_in(150, 350)) == 2
+        # [200, 300) touches neither (end-exclusive on both sides).
+        assert stats.blocks_in(200, 300) == []
+
+    def test_blocks_in_kind_filter(self):
+        stats = MemoryStats()
+        stats.record_block(BlockInterval(BlockKind.REF, 0, 10, 0))
+        stats.record_block(BlockInterval(BlockKind.BACKOFF, 5, 15, 0))
+        only = stats.blocks_in(0, 20, kind=BlockKind.BACKOFF)
+        assert len(only) == 1 and only[0].kind is BlockKind.BACKOFF
+
+    def test_counters_follow_block_kinds(self):
+        stats = MemoryStats()
+        for kind, attr in ((BlockKind.REF, "refreshes"),
+                           (BlockKind.RFM, "rfm_commands"),
+                           (BlockKind.BACKOFF, "backoffs"),
+                           (BlockKind.PARA, "para_refreshes")):
+            before = getattr(stats, attr)
+            stats.record_block(BlockInterval(kind, 0, 1, 0))
+            assert getattr(stats, attr) == before + 1
+
+    def test_partial_bank_block_membership(self):
+        interval = BlockInterval(BlockKind.RFM, 0, 1, 0,
+                                 banks=frozenset((3, 7)))
+        assert interval.blocks_bank(3)
+        assert not interval.blocks_bank(4)
+
+    def test_summary_dict(self):
+        stats = MemoryStats()
+        stats.activations = 5
+        assert stats.act_rate_summary["activations"] == 5

@@ -1,0 +1,153 @@
+"""End-to-end tests for the PRAC-based covert channel (Section 6)."""
+
+import pytest
+
+from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
+from repro.sim.config import DefenseKind
+from repro.sim.engine import NS, US
+from repro.workloads.patterns import bits_from_text, standard_patterns
+
+
+class TestBinaryTransmission:
+    def test_micro_message_decodes_exactly(self):
+        result = PracCovertChannel().transmit_text("M")
+        assert result.decoded == result.sent == bits_from_text("M")
+
+    def test_all_patterns_error_free_noiseless(self):
+        for name, bits in standard_patterns(12).items():
+            result = PracCovertChannel().transmit(bits)
+            assert result.decoded == bits, f"pattern {name} failed"
+
+    def test_raw_bit_rate_matches_paper(self):
+        result = PracCovertChannel().transmit([1, 0, 1, 0])
+        assert result.raw_bit_rate_bps == pytest.approx(40_000)
+
+    def test_one_windows_see_backoffs_zero_windows_do_not(self):
+        result = PracCovertChannel().transmit([0, 1, 0, 1, 1, 0])
+        for w in result.windows:
+            if w.sent == 1:
+                assert w.backoffs >= 1
+            else:
+                assert w.backoffs == 0
+
+    def test_ground_truth_matches_observation(self):
+        """Every back-off the receiver decodes corresponds to a real
+        preventive action in the memory system's log."""
+        result = PracCovertChannel().transmit([1, 1, 1, 1])
+        observed = sum(w.backoffs for w in result.windows)
+        assert observed <= result.ground_truth_backoffs
+        assert result.ground_truth_backoffs >= 4
+
+    def test_sender_halts_after_backoff(self):
+        """The sender sleeps once its bit is delivered, so a 1-window
+        produces roughly one back-off, not a train of them."""
+        result = PracCovertChannel().transmit([1, 1, 1])
+        for w in result.windows:
+            assert w.backoffs <= 2
+
+    def test_rejects_symbols_outside_alphabet(self):
+        with pytest.raises(ValueError):
+            PracCovertChannel().transmit([0, 2])
+
+    def test_transmit_text_requires_binary(self):
+        channel = PracCovertChannel(PracChannelConfig(levels=4))
+        with pytest.raises(ValueError):
+            channel.transmit_text("A")
+
+    def test_capacity_properties(self):
+        result = PracCovertChannel().transmit([1, 0] * 4)
+        assert result.capacity_bps <= result.raw_bit_rate_bps
+        assert result.kbps == pytest.approx(result.capacity_bps / 1e3)
+        summary = result.summary()
+        assert summary["error_probability"] == 0.0
+
+
+class TestNoiseAndInterference:
+    def test_high_noise_corrupts_zero_windows(self):
+        cfg = PracChannelConfig(noise_intensity=100.0)
+        result = PracCovertChannel(cfg).transmit([0] * 10)
+        assert result.error_probability > 0.1
+
+    def test_low_noise_mostly_clean(self):
+        cfg = PracChannelConfig(noise_intensity=1.0)
+        result = PracCovertChannel(cfg).transmit([1, 0] * 6)
+        assert result.error_probability <= 0.25
+
+    def test_spec_interference_keeps_channel_alive(self):
+        cfg = PracChannelConfig(spec_class="H")
+        result = PracCovertChannel(cfg).transmit([1, 0] * 8)
+        assert result.error_probability < 0.3
+        assert result.capacity_bps > 15_000
+
+    def test_noise_errors_flip_zeros_to_ones(self):
+        cfg = PracChannelConfig(noise_intensity=100.0)
+        result = PracCovertChannel(cfg).transmit([0, 1] * 6)
+        for w in result.windows:
+            if w.sent == 1:
+                assert w.decoded == 1  # 1-windows stay correct
+
+
+class TestMultibit:
+    def test_ternary_noiseless_decodes(self):
+        channel = PracCovertChannel(PracChannelConfig(levels=3))
+        symbols = [0, 1, 2, 2, 1, 0, 2, 1]
+        result = channel.transmit(symbols)
+        assert result.decoded == symbols
+
+    def test_quaternary_raw_rate_doubles(self):
+        channel = PracCovertChannel(PracChannelConfig(levels=4))
+        result = channel.transmit([0, 1, 2, 3])
+        assert result.raw_bit_rate_bps == pytest.approx(80_000)
+
+    def test_calibration_centers_ordered(self):
+        """Slower sender symbols produce later back-offs."""
+        channel = PracCovertChannel(PracChannelConfig(levels=4))
+        channel.transmit([0, 1, 2, 3])
+        centers = channel._calibration
+        assert centers is not None
+        assert centers[0] > centers[1] > centers[2]
+
+    def test_calibration_cached(self):
+        channel = PracCovertChannel(PracChannelConfig(levels=3))
+        channel.transmit([1, 2])
+        first = channel._calibration
+        channel.transmit([2, 1])
+        assert channel._calibration is first
+
+    def test_gap_table_override(self):
+        cfg = PracChannelConfig(levels=3,
+                                gap_table={0: None, 1: 60 * NS, 2: 0})
+        assert cfg.gaps()[1] == 60 * NS
+
+    def test_unsupported_levels_rejected(self):
+        with pytest.raises(ValueError):
+            PracChannelConfig(levels=5).gaps()
+
+
+class TestDefenseVariants:
+    def test_channel_works_against_prac_bank_same_bank(self):
+        """Footnote 11: Bank-Level PRAC does not affect the same-bank
+        covert channel."""
+        cfg = PracChannelConfig(defense_kind=DefenseKind.PRAC_BANK)
+        result = PracCovertChannel(cfg).transmit([1, 0] * 4)
+        assert result.error_probability == 0.0
+
+    def test_riac_still_decodes_ones(self):
+        cfg = PracChannelConfig(defense_kind=DefenseKind.PRAC_RIAC)
+        result = PracCovertChannel(cfg).transmit([1] * 6)
+        assert sum(result.decoded) >= 5
+
+    def test_rejects_non_prac_defense(self):
+        cfg = PracChannelConfig(defense_kind=DefenseKind.PRFM)
+        with pytest.raises(ValueError):
+            PracCovertChannel(cfg).system_config()
+
+    def test_fig12_override_kills_channel_below_resolution(self):
+        cfg = PracChannelConfig(backoff_latency_override=2 * NS)
+        result = PracCovertChannel(cfg).transmit([1, 1, 1, 1])
+        assert sum(result.decoded) == 0  # nothing observable
+
+    def test_fig12_override_above_resolution_works(self):
+        cfg = PracChannelConfig(backoff_latency_override=96 * NS)
+        result = PracCovertChannel(cfg).transmit([1, 0, 1, 0])
+        assert result.decoded == [1, 0, 1, 0]

@@ -1,0 +1,90 @@
+"""End-to-end tests for the RFM-based covert channel (Section 7)."""
+
+import pytest
+
+from repro.core.rfm_channel import RfmChannelConfig, RfmCovertChannel
+from repro.sim.config import DefenseKind
+from repro.workloads.patterns import bits_from_text, standard_patterns
+
+
+class TestBinaryTransmission:
+    def test_micro_message_decodes_exactly(self):
+        result = RfmCovertChannel().transmit_text("M")
+        assert result.decoded == result.sent == bits_from_text("M")
+
+    def test_all_patterns_error_free_noiseless(self):
+        for name, bits in standard_patterns(12).items():
+            result = RfmCovertChannel().transmit(bits)
+            assert result.decoded == bits, f"pattern {name} failed"
+
+    def test_raw_bit_rate_matches_paper(self):
+        result = RfmCovertChannel().transmit([1, 0, 1])
+        assert result.raw_bit_rate_bps == pytest.approx(50_000)
+
+    def test_one_windows_reach_trecv(self):
+        cfg = RfmChannelConfig()
+        result = RfmCovertChannel(cfg).transmit([1, 0, 1, 0])
+        for w in result.windows:
+            if w.sent == 1:
+                assert w.rfms >= cfg.trecv
+            else:
+                assert w.rfms < cfg.trecv
+
+    def test_multiple_rfms_per_one_window(self):
+        """The sender hammers the whole window: several RFMs fire per
+        1-bit (the robustness mechanism of Section 7.3)."""
+        result = RfmCovertChannel().transmit([1, 1])
+        assert all(w.rfms >= 5 for w in result.windows)
+
+    def test_ground_truth_rfms_match(self):
+        result = RfmCovertChannel().transmit([1, 1])
+        observed = sum(w.rfms for w in result.windows)
+        assert observed <= result.ground_truth_rfms
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            RfmCovertChannel().transmit([0, 2])
+
+    def test_trecv_filtering_absorbs_sparse_noise(self):
+        """A couple of stray RFMs in a 0-window must not flip the bit."""
+        cfg = RfmChannelConfig(noise_intensity=20.0)
+        result = RfmCovertChannel(cfg).transmit([0] * 8)
+        assert result.error_probability <= 0.25
+
+
+class TestNoiseAndInterference:
+    def test_extreme_noise_corrupts(self):
+        cfg = RfmChannelConfig(noise_intensity=100.0)
+        result = RfmCovertChannel(cfg).transmit([0] * 8)
+        assert result.error_probability > 0.3
+
+    def test_spec_interference_mild(self):
+        cfg = RfmChannelConfig(spec_class="M")
+        result = RfmCovertChannel(cfg).transmit([1, 0] * 6)
+        assert result.error_probability <= 0.25
+
+
+class TestAgainstFrRfm:
+    def test_frrfm_defeats_the_channel(self):
+        """Section 11.4: against FR-RFM the receiver's observations are
+        independent of the sender, so decoding contains no signal."""
+        cfg = RfmChannelConfig(defense_kind=DefenseKind.FRRFM)
+        result = RfmCovertChannel(cfg).transmit([1, 0] * 8)
+        decoded = set(result.decoded)
+        assert len(decoded) == 1  # constant decode = zero information
+
+    def test_frrfm_rfm_counts_near_constant_across_windows(self):
+        """The RFM *issue* schedule is fixed; the small per-window
+        count spread comes from the receiver's own sampling (an RFM can
+        hide behind a refresh) -- residual memory *contention* effects
+        are exactly the paper's footnote-9 out-of-scope channel."""
+        cfg = RfmChannelConfig(defense_kind=DefenseKind.FRRFM)
+        result = RfmCovertChannel(cfg).transmit([1, 0, 1, 0, 1, 0])
+        counts = [w.rfms for w in result.windows]
+        expected = cfg.window_ps / (cfg.trfm * 48_000)
+        assert all(abs(c - expected) < 4 for c in counts)
+
+    def test_rejects_prac_defense(self):
+        cfg = RfmChannelConfig(defense_kind=DefenseKind.PRAC)
+        with pytest.raises(ValueError):
+            RfmCovertChannel(cfg).system_config()

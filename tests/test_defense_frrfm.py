@@ -1,0 +1,83 @@
+"""Tests for FR-RFM, including the non-interference security property."""
+
+import pytest
+
+from repro.cpu.agent import run_agents
+from repro.cpu.noise import NoiseAgent
+from repro.sim.config import DefenseKind, DefenseParams, RefreshPolicy, SystemConfig
+from repro.sim.engine import NS, US
+from repro.sim.stats import BlockKind
+from repro.system import MemorySystem
+
+from tests.conftest import make_system, single_read
+
+
+def frrfm_system(trfm=20) -> MemorySystem:
+    return make_system(DefenseKind.FRRFM, trfm=trfm)
+
+
+class TestFixedSchedule:
+    def test_rfms_on_exact_grid(self):
+        system = frrfm_system(trfm=20)
+        period = system.defense.period
+        system.sim.run(until=5 * period + 1)
+        rfms = system.stats.blocks_of(BlockKind.RFM)
+        assert [r.start for r in rfms] == [period * k for k in range(1, 6)]
+
+    def test_period_is_trfm_times_trc(self):
+        system = frrfm_system(trfm=20)
+        t = system.config.timing
+        assert system.defense.period == 20 * t.tRC
+
+    def test_rfm_blocks_all_banks(self):
+        system = frrfm_system()
+        system.sim.run(until=system.defense.period + 1)
+        assert system.stats.blocks_of(BlockKind.RFM)[0].banks is None
+
+    def test_idle_system_still_issues_rfms(self):
+        """The whole point: preventive actions are decoupled from
+        traffic -- they fire even with zero memory accesses."""
+        system = frrfm_system(trfm=20)
+        system.sim.run(until=10 * system.defense.period)
+        assert system.stats.rfm_commands == 9 or \
+            system.stats.rfm_commands == 10
+
+    def test_starvation_guard(self):
+        with pytest.raises(ValueError):
+            make_system(DefenseKind.FRRFM, trfm=2)
+
+
+class TestNonInterference:
+    def _rfm_schedule(self, with_sender: bool) -> list[int]:
+        system = frrfm_system(trfm=20)
+        agents = []
+        if with_sender:
+            rows = system.mapper.same_bank_rows(2, stride=8)
+            agents.append(NoiseAgent(system, rows, sleep_ps=100 * NS,
+                                     stop_time=200 * US))
+        for agent in agents:
+            agent.start()
+        system.sim.run(until=200 * US)
+        return [r.start for r in system.stats.blocks_of(BlockKind.RFM)]
+
+    def test_rfm_schedule_independent_of_traffic(self):
+        """The security argument of Section 11.1: the RFM timestamp
+        sequence is identical whatever any process does."""
+        assert self._rfm_schedule(False) == self._rfm_schedule(True)
+
+    def test_receiver_observation_carries_no_information(self):
+        """Empirically: the per-window RFM counts a receiver can
+        observe are the same for a hammering and an idle sender."""
+        def windows(with_sender):
+            schedule = self._rfm_schedule(with_sender)
+            window = 20 * US
+            counts = {}
+            for t in schedule:
+                counts[t // window] = counts.get(t // window, 0) + 1
+            return counts
+        assert windows(True) == windows(False)
+
+    def test_describe(self):
+        info = frrfm_system(trfm=20).defense.describe()
+        assert info["kind"] == "fr-rfm"
+        assert info["period_ps"] == info["trfm"] * 48 * NS

@@ -1,0 +1,130 @@
+"""Tests for Periodic RFM (controller-side bank counters)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.config import DefenseKind
+from repro.sim.stats import BlockKind
+from repro.system import MemorySystem
+
+from tests.conftest import make_system, single_read
+
+
+def prfm_system(trfm=4) -> MemorySystem:
+    return make_system(DefenseKind.PRFM, trfm=trfm)
+
+
+class TestTriggering:
+    def test_rfm_after_trfm_activations(self):
+        system = prfm_system(trfm=4)
+        addrs = system.mapper.same_bank_rows(2, stride=8)
+        for i in range(4):
+            single_read(system, addrs[i % 2])
+        system.sim.run(until=system.sim.now + 2_000_000)
+        assert system.stats.rfm_commands == 1
+
+    def test_no_rfm_below_threshold(self):
+        system = prfm_system(trfm=10)
+        addrs = system.mapper.same_bank_rows(2, stride=8)
+        for i in range(9):
+            single_read(system, addrs[i % 2])
+        system.sim.run(until=system.sim.now + 2_000_000)
+        assert system.stats.rfm_commands == 0
+
+    def test_row_hits_do_not_trigger(self):
+        system = prfm_system(trfm=2)
+        addr = system.mapper.encode(row=5)
+        for _ in range(10):
+            single_read(system, addr)
+        system.sim.run(until=system.sim.now + 2_000_000)
+        assert system.stats.rfm_commands == 0  # one ACT only
+
+    def test_counter_resets_after_rfm(self):
+        system = prfm_system(trfm=4)
+        addrs = system.mapper.same_bank_rows(2, stride=8)
+        for i in range(16):
+            single_read(system, addrs[i % 2])
+        system.sim.run(until=system.sim.now + 5_000_000)
+        assert system.stats.rfm_commands == 4
+
+    def test_distinct_banks_have_distinct_counters(self):
+        system = prfm_system(trfm=10)
+        a = system.mapper.encode(bankgroup=0, row=1)
+        b = system.mapper.encode(bankgroup=1, row=1)
+        c = system.mapper.encode(bankgroup=0, row=9)
+        d = system.mapper.encode(bankgroup=1, row=9)
+        for _ in range(5):  # 10 ACTs to bank (0,0): exactly at threshold
+            single_read(system, a)
+            single_read(system, c)
+        for _ in range(2):  # 4 ACTs to bank (1,0): below threshold
+            single_read(system, b)
+            single_read(system, d)
+        system.sim.run(until=system.sim.now + 2_000_000)
+        assert system.stats.rfm_commands == 1  # only bank (0,0) crossed
+
+
+class TestBlockingScope:
+    def test_rfm_blocks_same_bank_across_groups(self):
+        system = prfm_system(trfm=2)
+        addrs = system.mapper.same_bank_rows(2, stride=8, bankgroup=2,
+                                             bank=3)
+        for i in range(2):
+            single_read(system, addrs[i % 2])
+        system.sim.run(until=system.sim.now + 2_000_000)
+        rfm = system.stats.blocks_of(BlockKind.RFM)[0]
+        per_group = system.config.org.banks_per_group
+        expected = frozenset(g * per_group + 3 for g in range(8))
+        assert rfm.banks == expected
+
+    def test_rfm_latency_is_trfm_sb(self):
+        system = prfm_system(trfm=2)
+        addrs = system.mapper.same_bank_rows(2, stride=8)
+        single_read(system, addrs[0])
+        single_read(system, addrs[1])
+        system.sim.run(until=system.sim.now + 2_000_000)
+        rfm = system.stats.blocks_of(BlockKind.RFM)[0]
+        assert rfm.duration == system.config.timing.tRFM_SB
+
+    def test_other_bank_index_not_blocked(self):
+        system = prfm_system(trfm=2)
+        addrs = system.mapper.same_bank_rows(2, stride=8, bank=0)
+        single_read(system, addrs[0])
+        single_read(system, addrs[1])
+        system.sim.run(until=system.sim.now + 2_000_000)
+        rfm = system.stats.blocks_of(BlockKind.RFM)[0]
+        assert not rfm.blocks_bank(1)
+
+
+class TestSecurityInvariant:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10 ** 6))
+    def test_never_more_than_trfm_acts_between_rfms(self, seed):
+        """PRFM's bound: a bank performs at most T_RFM activations
+        between two consecutive RFM commands to it."""
+        trfm = 5
+        system = prfm_system(trfm=trfm)
+        rng = random.Random(seed)
+        rows = [system.mapper.encode(row=r) for r in range(0, 32, 8)]
+        for _ in range(100):
+            single_read(system, rng.choice(rows))
+        system.sim.run(until=system.sim.now + 10_000_000)
+        log = system.defense.rfm_log
+        acts = system.stats.activations
+        # Total ACTs to bank 0 should be covered by RFMs at the rate of
+        # one per trfm (with at most trfm-1 residual).
+        assert len(log) >= (acts - (trfm - 1)) // trfm
+
+    def test_rfm_log_matches_stats(self):
+        system = prfm_system(trfm=2)
+        addrs = system.mapper.same_bank_rows(2, stride=8)
+        for i in range(8):
+            single_read(system, addrs[i % 2])
+        system.sim.run(until=system.sim.now + 5_000_000)
+        assert len(system.defense.rfm_log) == system.stats.rfm_commands
+
+    def test_describe(self):
+        info = prfm_system(trfm=40).defense.describe()
+        assert info["kind"] == "prfm"
+        assert info["trfm"] == 40

@@ -1,0 +1,81 @@
+"""Tests for the figure/table renderers."""
+
+import pytest
+
+from repro.analysis.figures import FigureTable, render_series, render_strip
+
+
+class TestFigureTable:
+    def test_add_row_and_text(self):
+        table = FigureTable("Demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        text = table.to_text()
+        assert "Demo" in text
+        assert "2.500" in text
+
+    def test_row_arity_checked(self):
+        table = FigureTable("Demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_notes_rendered(self):
+        table = FigureTable("Demo", ["a"])
+        table.add_row(1)
+        table.add_note("hello")
+        assert "note: hello" in table.to_text()
+
+    def test_column_extraction(self):
+        table = FigureTable("Demo", ["x", "y"])
+        table.add_row(1, 10)
+        table.add_row(2, 20)
+        assert table.column("y") == [10, 20]
+
+    def test_csv_roundtrip(self, tmp_path):
+        table = FigureTable("Demo", ["x", "y"])
+        table.add_row(1, 0.5)
+        path = table.to_csv(tmp_path / "out.csv")
+        content = path.read_text().strip().splitlines()
+        assert content[0] == "x,y"
+        assert content[1] == "1,0.5"
+
+    def test_alignment_with_long_values(self):
+        table = FigureTable("Demo", ["name", "v"])
+        table.add_row("a-very-long-name", 1)
+        table.add_row("x", 2)
+        lines = table.to_text().splitlines()
+        assert len(lines[-1]) <= len(lines[-2]) + 2
+
+
+class TestStrips:
+    def test_empty_strip(self):
+        assert render_strip([]) == ""
+
+    def test_zero_counts_blank(self):
+        assert render_strip([0, 0, 0]) == "   "
+
+    def test_peak_gets_darkest_char(self):
+        strip = render_strip([0, 1, 5])
+        assert strip[-1] == "@"
+        assert strip[0] == " "
+
+    def test_fixed_scale(self):
+        strip = render_strip([5], max_value=10)
+        assert strip != "@"
+
+    def test_length_preserved(self):
+        assert len(render_strip(range(17))) == 17
+
+
+class TestSeries:
+    def test_basic_rendering(self):
+        out = render_series([1, 2, 3], [1.0, 5.0, 2.0], title="t")
+        assert out.startswith("t")
+        assert "*" in out
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_series([1], [1.0, 2.0])
+
+    def test_constant_series_ok(self):
+        out = render_series([1, 2], [3.0, 3.0])
+        assert "*" in out

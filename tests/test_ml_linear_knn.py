@@ -1,0 +1,108 @@
+"""Tests for kNN and the linear models."""
+
+import numpy as np
+import pytest
+
+from repro.ml.knn import KNeighborsClassifier
+from repro.ml.linear import LinearSVC, LogisticRegression, Perceptron
+
+from tests.test_ml_tree import blobs
+
+
+class TestKnn:
+    def test_one_neighbor_memorizes(self):
+        X, y = blobs()
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert knn.score(X, y) == 1.0
+
+    def test_predicts_nearest_blob(self):
+        X, y = blobs(k=2)
+        knn = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert knn.predict([[0.0] * 4])[0] == 0
+        assert knn.predict([[3.0] * 4])[0] == 1
+
+    def test_k_larger_than_dataset_uses_all(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 1])
+        knn = KNeighborsClassifier(n_neighbors=50).fit(X, y)
+        assert knn.predict([[0.0]])[0] == 1  # global majority
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=0)
+
+    def test_feature_count_checked(self):
+        X, y = blobs()
+        knn = KNeighborsClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            knn.predict([[1.0, 2.0]])
+
+
+class TestLogisticRegression:
+    def test_fits_separable_blobs(self):
+        X, y = blobs()
+        lr = LogisticRegression(n_iter=200).fit(X, y)
+        assert lr.score(X, y) > 0.97
+
+    def test_probabilities_valid(self):
+        X, y = blobs(k=2)
+        lr = LogisticRegression().fit(X, y)
+        probs = lr.predict_proba(X)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs > 0).all()
+
+    def test_confident_far_from_boundary(self):
+        X, y = blobs(k=2)
+        lr = LogisticRegression().fit(X, y)
+        probs = lr.predict_proba([[-2.0] * 4, [5.0] * 4])
+        assert probs[0, 0] > 0.9
+        assert probs[1, 1] > 0.9
+
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            LogisticRegression(lr=0)
+        with pytest.raises(ValueError):
+            LogisticRegression(n_iter=0)
+
+
+class TestLinearSVC:
+    def test_fits_separable_blobs(self):
+        X, y = blobs(k=2)
+        svm = LinearSVC(n_iter=300).fit(X, y)
+        assert svm.score(X, y) > 0.95
+
+    def test_multiclass_one_vs_rest(self):
+        X, y = blobs(k=3)
+        svm = LinearSVC(n_iter=300).fit(X, y)
+        assert svm.score(X, y) > 0.9
+
+    def test_decision_function_shape(self):
+        X, y = blobs(k=3)
+        svm = LinearSVC().fit(X, y)
+        assert svm.decision_function(X).shape == (len(X), 3)
+
+    def test_rejects_bad_c(self):
+        with pytest.raises(ValueError):
+            LinearSVC(c=0)
+
+
+class TestPerceptron:
+    def test_converges_on_separable_data(self):
+        X, y = blobs(k=2)
+        perceptron = Perceptron(n_iter=30).fit(X, y)
+        assert perceptron.score(X, y) == 1.0
+
+    def test_multiclass(self):
+        X, y = blobs(k=4)
+        perceptron = Perceptron(n_iter=50).fit(X, y)
+        assert perceptron.score(X, y) > 0.9
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            Perceptron().predict([[1.0]])
+
+    def test_standardization_toggle(self):
+        X, y = blobs(k=2)
+        X_scaled = X * 1000.0  # wildly different feature scale
+        with_std = Perceptron(n_iter=30).fit(X_scaled, y)
+        assert with_std.score(X_scaled, y) == 1.0

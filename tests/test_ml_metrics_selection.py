@@ -1,0 +1,166 @@
+"""Tests for metrics and model selection, checked against hand-computed
+values."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ml.metrics import (
+    accuracy_score,
+    confusion_matrix,
+    f1_score,
+    precision_score,
+    recall_score,
+)
+from repro.ml.model_selection import (
+    StratifiedKFold,
+    cross_validate,
+    train_test_split,
+)
+from repro.ml.tree import DecisionTreeClassifier
+
+from tests.test_ml_tree import blobs
+
+
+class TestMetrics:
+    def test_accuracy_hand_computed(self):
+        assert accuracy_score([1, 0, 1, 1], [1, 1, 1, 0]) == 0.5
+
+    def test_confusion_matrix_hand_computed(self):
+        cm = confusion_matrix([0, 0, 1, 1, 1], [0, 1, 1, 1, 0])
+        assert cm.tolist() == [[1, 1], [1, 2]]
+
+    def test_confusion_matrix_with_labels(self):
+        cm = confusion_matrix([0, 1], [0, 1], labels=[0, 1, 2])
+        assert cm.shape == (3, 3)
+        assert cm[2].sum() == 0
+
+    def test_precision_recall_f1_hand_computed(self):
+        # y_true: [1 1 1 0 0], y_pred: [1 0 1 0 1]
+        # class 1: tp=2 fp=1 fn=1 -> P=2/3 R=2/3 F1=2/3
+        # class 0: tp=1 fp=1 fn=1 -> P=1/2 R=1/2 F1=1/2
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0, 1]
+        assert precision_score(y_true, y_pred) == pytest.approx(7 / 12)
+        assert recall_score(y_true, y_pred) == pytest.approx(7 / 12)
+        assert f1_score(y_true, y_pred) == pytest.approx(7 / 12)
+
+    def test_weighted_average_weighs_by_support(self):
+        y_true = [1, 1, 1, 0]
+        y_pred = [1, 1, 1, 1]
+        # class 1: P=3/4 R=1 F1=6/7; class 0: all 0.
+        assert f1_score(y_true, y_pred, average="weighted") == \
+            pytest.approx((6 / 7) * 0.75)
+
+    def test_perfect_prediction_scores_one(self):
+        y = [0, 1, 2, 2, 1]
+        assert accuracy_score(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+        assert precision_score(y, y) == 1.0
+        assert recall_score(y, y) == 1.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_rejects_unknown_average(self):
+        with pytest.raises(ValueError):
+            f1_score([0, 1], [0, 1], average="micro")
+
+    @given(st.lists(st.integers(0, 3), min_size=2, max_size=50),
+           st.lists(st.integers(0, 3), min_size=2, max_size=50))
+    def test_f1_bounded(self, a, b):
+        n = min(len(a), len(b))
+        assert 0.0 <= f1_score(a[:n], b[:n]) <= 1.0
+
+    @given(st.lists(st.integers(0, 2), min_size=3, max_size=40))
+    def test_confusion_diagonal_counts_accuracy(self, y):
+        cm = confusion_matrix(y, y)
+        assert np.trace(cm) == len(y)
+
+
+class TestTrainTestSplit:
+    def test_sizes(self):
+        X, y = blobs(n_per=20, k=2)
+        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.25, seed=1)
+        assert len(Xte) == 10
+        assert len(Xtr) + len(Xte) == len(X)
+
+    def test_stratification_preserves_proportions(self):
+        X, y = blobs(n_per=40, k=2)
+        _, _, ytr, yte = train_test_split(X, y, test_size=0.25, seed=2)
+        assert list(np.bincount(yte)) == [10, 10]
+
+    def test_no_overlap(self):
+        X = np.arange(40, dtype=float).reshape(-1, 1)
+        y = np.tile([0, 1], 20)
+        Xtr, Xte, _, _ = train_test_split(X, y, test_size=0.3, seed=3)
+        assert not set(Xtr[:, 0]) & set(Xte[:, 0])
+
+    def test_rejects_bad_test_size(self):
+        X, y = blobs()
+        with pytest.raises(ValueError):
+            train_test_split(X, y, test_size=0.0)
+
+
+class TestStratifiedKFold:
+    def test_folds_partition_dataset(self):
+        _, y = blobs(n_per=20, k=3)
+        folds = StratifiedKFold(n_splits=5, seed=1).split(y)
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(len(y)))
+
+    def test_train_test_disjoint_per_fold(self):
+        _, y = blobs(n_per=20, k=2)
+        for train, test in StratifiedKFold(4, seed=0).split(y):
+            assert not set(train) & set(test)
+
+    def test_stratification_within_folds(self):
+        y = np.tile([0, 1], 25)
+        for _, test in StratifiedKFold(5, seed=0).split(y):
+            counts = np.bincount(y[test], minlength=2)
+            assert abs(counts[0] - counts[1]) <= 1
+
+    def test_rejects_too_few_splits(self):
+        with pytest.raises(ValueError):
+            StratifiedKFold(n_splits=1)
+
+    def test_rejects_more_splits_than_members(self):
+        y = np.array([0, 0, 1, 1])
+        with pytest.raises(ValueError):
+            StratifiedKFold(n_splits=5, seed=0).split(y)
+
+    @given(st.integers(min_value=2, max_value=6))
+    def test_fold_count(self, k):
+        y = np.tile([0, 1, 2], 12)
+        folds = StratifiedKFold(n_splits=k, seed=1).split(y)
+        assert len(folds) == k
+
+
+class TestCrossValidate:
+    def test_reports_all_metrics(self):
+        X, y = blobs(n_per=25, k=2)
+        out = cross_validate(lambda: DecisionTreeClassifier(seed=1),
+                             X, y, n_splits=5)
+        for metric in ("accuracy", "f1", "precision", "recall"):
+            assert 0.0 <= out[f"{metric}_mean"] <= 1.0
+            assert out[f"{metric}_std"] >= 0.0
+        assert out["n_splits"] == 5
+
+    def test_separable_data_scores_high(self):
+        X, y = blobs(n_per=30, k=3)
+        out = cross_validate(lambda: DecisionTreeClassifier(seed=1),
+                             X, y, n_splits=5)
+        assert out["accuracy_mean"] > 0.9
+
+    def test_fresh_model_per_fold(self):
+        X, y = blobs(n_per=15, k=2)
+        created = []
+
+        def factory():
+            model = DecisionTreeClassifier(seed=len(created))
+            created.append(model)
+            return model
+        cross_validate(factory, X, y, n_splits=3)
+        assert len(created) == 3

@@ -1,0 +1,93 @@
+"""Tests for periodic-refresh scheduling."""
+
+import pytest
+
+from repro.sim.config import RefreshPolicy, SystemConfig
+from repro.sim.stats import BlockKind
+from repro.system import MemorySystem
+
+from tests.conftest import single_read
+
+
+def make(policy: RefreshPolicy) -> MemorySystem:
+    return MemorySystem(SystemConfig(refresh_policy=policy))
+
+
+class TestPolicies:
+    def test_no_refresh_under_none_policy(self):
+        system = make(RefreshPolicy.NONE)
+        system.sim.run(until=50_000_000)
+        assert system.stats.refreshes == 0
+
+    def test_every_trefi_issues_one_per_interval(self):
+        system = make(RefreshPolicy.EVERY_TREFI)
+        trefi = system.config.timing.tREFI
+        system.sim.run(until=10 * trefi)
+        assert system.stats.refreshes == 10
+
+    def test_postpone_pair_issues_double_refreshes(self):
+        system = make(RefreshPolicy.POSTPONE_PAIR)
+        t = system.config.timing
+        system.sim.run(until=4 * 2 * t.tREFI)
+        refs = system.stats.blocks_of(BlockKind.REF)
+        assert len(refs) == 4
+        # Each REF event blocks for two back-to-back tRFCs.
+        assert all(r.duration == 2 * t.tRFC for r in refs)
+
+    def test_pair_cadence_is_two_trefi(self):
+        system = make(RefreshPolicy.POSTPONE_PAIR)
+        t = system.config.timing
+        system.sim.run(until=8 * t.tREFI + 1000)
+        refs = system.stats.blocks_of(BlockKind.REF)
+        starts = [r.start for r in refs]
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert all(abs(g - 2 * t.tREFI) < t.tRFC * 2 for g in gaps)
+
+    def test_refresh_blocks_whole_rank(self):
+        system = make(RefreshPolicy.EVERY_TREFI)
+        system.sim.run(until=system.config.timing.tREFI + 1)
+        ref = system.stats.blocks_of(BlockKind.REF)[0]
+        assert ref.banks is None
+        assert ref.blocks_bank(0) and ref.blocks_bank(31)
+
+    def test_refresh_closes_open_rows(self):
+        system = make(RefreshPolicy.EVERY_TREFI)
+        addr = system.mapper.encode(row=9)
+        single_read(system, addr)
+        system.sim.run(until=system.config.timing.tREFI + 1000)
+        req = single_read(system, addr)
+        assert req.kind == "miss"
+
+    def test_refreshes_required_helper(self):
+        system = make(RefreshPolicy.POSTPONE_PAIR)
+        trefi = system.config.timing.tREFI
+        assert system.refresh.refreshes_required(4 * trefi) == 4
+        none = make(RefreshPolicy.NONE)
+        assert none.refresh.refreshes_required(10 * trefi) == 0
+
+
+class TestDraining:
+    def test_refresh_waits_for_busy_banks(self):
+        """A REF due during a long blocking interval on one bank is
+        delayed until the rank drains, not issued concurrently."""
+        system = make(RefreshPolicy.EVERY_TREFI)
+        t = system.config.timing
+        # Occupy bank 0 far past the first REF due time.
+        from repro.sim.stats import BlockKind as BK
+        block_end = system.controller.block_banks(
+            0, frozenset((0,)), 0, t.tREFI + 500_000, BK.BACKOFF)
+        system.sim.run(until=t.tREFI + 2_000_000)
+        ref = system.stats.blocks_of(BK.REF)[0]
+        assert ref.start >= block_end
+
+    def test_other_banks_serve_while_refresh_waits(self):
+        """The crucial two-phase property: while the REF waits for a
+        blocked bank, other banks keep serving."""
+        system = make(RefreshPolicy.EVERY_TREFI)
+        t = system.config.timing
+        from repro.sim.stats import BlockKind as BK
+        system.controller.block_banks(
+            0, frozenset((0,)), 0, t.tREFI + 500_000, BK.BACKOFF)
+        system.sim.run(until=t.tREFI + 10_000)  # REF now pending
+        req = single_read(system, system.mapper.encode(bankgroup=5, row=3))
+        assert req.latency < 200_000

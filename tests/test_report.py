@@ -1,0 +1,43 @@
+"""Tests for the quick-report assembly (not the heavy experiments)."""
+
+import pytest
+
+from repro.analysis.report import ReportSection, ReproductionReport
+
+
+class TestReportAssembly:
+    def test_empty_report_passes(self):
+        assert ReproductionReport().all_passed
+
+    def test_add_and_status(self):
+        report = ReproductionReport()
+        report.add("a", "body", True)
+        assert report.all_passed
+        report.add("b", "body", False)
+        assert not report.all_passed
+
+    def test_markdown_contains_sections_and_status(self):
+        report = ReproductionReport()
+        report.add("First Check", "some output", True)
+        report.add("Second Check", "other output", False)
+        text = report.to_markdown()
+        assert "# LeakyHammer reproduction" in text
+        assert "[PASS] First Check" in text
+        assert "[FAIL] Second Check" in text
+        assert "CHECK FAILURES BELOW" in text
+        assert "some output" in text
+
+    def test_all_pass_banner(self):
+        report = ReproductionReport()
+        report.add("x", "y", True)
+        assert "**PASS**" in report.to_markdown()
+
+    def test_save_roundtrip(self, tmp_path):
+        report = ReproductionReport()
+        report.add("x", "y", True)
+        path = report.save(tmp_path / "report.md")
+        assert "x" in path.read_text()
+
+    def test_section_dataclass(self):
+        section = ReportSection("t", "b", True)
+        assert section.title == "t" and section.passed

@@ -1,0 +1,88 @@
+"""Tests for multicore runs and weighted-speedup math (Fig. 13)."""
+
+import pytest
+
+from repro.analysis.speedup import (
+    normalized_weighted_speedup,
+    run_mix,
+    run_solo,
+    weighted_speedup,
+)
+from repro.cpu.app import AppSpec
+from repro.sim.config import (
+    DefenseKind,
+    DefenseParams,
+    RefreshPolicy,
+    SystemConfig,
+)
+from repro.sim.engine import NS
+
+
+def app(name, seed=0, n_requests=400) -> AppSpec:
+    return AppSpec(name=name, think_ps=50 * NS, p_row_hit=0.4, n_rows=64,
+                   banks=((0, 0), (1, 0), (2, 0)), n_requests=n_requests,
+                   seed=seed, row_base=4096 + seed * 2048)
+
+
+class TestWeightedSpeedupMath:
+    def test_identical_runs_give_app_count(self):
+        times = {"a": 100, "b": 200}
+        assert weighted_speedup(times, times) == 2.0
+
+    def test_slowdown_reduces_ws(self):
+        alone = {"a": 100}
+        shared = {"a": 200}
+        assert weighted_speedup(alone, shared) == 0.5
+
+    def test_mismatched_apps_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup({"a": 1}, {"b": 1})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_speedup({}, {})
+
+    def test_normalization(self):
+        alone = {"a": 100, "b": 100}
+        base = {"a": 150, "b": 150}
+        defended = {"a": 300, "b": 300}
+        assert normalized_weighted_speedup(alone, base, defended) == \
+            pytest.approx(0.5)
+
+    def test_no_defense_normalizes_to_one(self):
+        alone = {"a": 123, "b": 77}
+        base = {"a": 200, "b": 130}
+        assert normalized_weighted_speedup(alone, base, dict(base)) == 1.0
+
+
+class TestRuns:
+    def test_solo_run_returns_elapsed(self):
+        cfg = SystemConfig(refresh_policy=RefreshPolicy.NONE)
+        elapsed = run_solo(cfg, app("solo"))
+        assert elapsed > 0
+
+    def test_mix_runs_all_apps(self):
+        cfg = SystemConfig(refresh_policy=RefreshPolicy.NONE)
+        times = run_mix(cfg, [app("a", 0), app("b", 1)])
+        assert set(times) == {"a", "b"}
+        assert all(t > 0 for t in times.values())
+
+    def test_sharing_slows_apps_down(self):
+        cfg = SystemConfig(refresh_policy=RefreshPolicy.NONE)
+        alone = run_solo(cfg, app("a", 0))
+        shared = run_mix(cfg, [app("a", 0), app("b", 1), app("c", 2)])
+        assert shared["a"] >= alone
+
+    def test_frrfm_defense_slows_the_mix(self):
+        base_cfg = SystemConfig(refresh_policy=RefreshPolicy.NONE)
+        apps = [app("a", 0), app("b", 1)]
+        base = run_mix(base_cfg, apps)
+        defended_cfg = base_cfg.with_defense(
+            DefenseParams.for_nrh(DefenseKind.FRRFM, 64))
+        defended = run_mix(defended_cfg, apps)
+        assert all(defended[k] > base[k] for k in base)
+
+    def test_deterministic_runs(self):
+        cfg = SystemConfig(refresh_policy=RefreshPolicy.NONE)
+        apps = [app("a", 0), app("b", 1)]
+        assert run_mix(cfg, apps) == run_mix(cfg, apps)

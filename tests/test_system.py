@@ -1,0 +1,65 @@
+"""Tests for the MemorySystem facade."""
+
+import pytest
+
+from repro.sim.config import (
+    DefenseKind,
+    DefenseParams,
+    RefreshPolicy,
+    SystemConfig,
+)
+from repro.system import MemorySystem
+
+
+class TestConstruction:
+    def test_builds_configured_defense(self):
+        system = MemorySystem(SystemConfig(
+            defense=DefenseParams(kind=DefenseKind.PRAC)))
+        assert system.defense.kind is DefenseKind.PRAC
+        assert system.controller.defense is system.defense
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySystem(SystemConfig(column_cap=0))
+
+    def test_unknown_defense_kind_rejected(self, monkeypatch):
+        from repro.defenses import factory
+        monkeypatch.setitem(factory._REGISTRY, DefenseKind.PRAC,
+                            factory._REGISTRY.pop(DefenseKind.PRAC))
+        monkeypatch.delitem(factory._REGISTRY, DefenseKind.PRAC)
+        with pytest.raises(ValueError):
+            MemorySystem(SystemConfig(
+                defense=DefenseParams(kind=DefenseKind.PRAC)))
+
+
+class TestSubmit:
+    def test_callback_includes_frontend_latency(self):
+        cfg = SystemConfig(refresh_policy=RefreshPolicy.NONE)
+        system = MemorySystem(cfg)
+        delivered = []
+        system.submit(system.mapper.encode(row=1),
+                      lambda req: delivered.append(system.sim.now))
+        system.sim.run(until=10_000_000)
+        req_complete = delivered[0] - cfg.frontend_latency
+        assert req_complete > 0
+
+    def test_run_until_predicate(self):
+        system = MemorySystem(SystemConfig(
+            refresh_policy=RefreshPolicy.NONE))
+        done = []
+        system.submit(system.mapper.encode(row=1), done.append)
+        system.run_until(lambda: bool(done), step=1_000,
+                         hard_limit=100_000_000)
+        assert done
+
+    def test_run_until_hard_limit_raises(self):
+        system = MemorySystem(SystemConfig(
+            refresh_policy=RefreshPolicy.NONE))
+        with pytest.raises(RuntimeError):
+            system.run_until(lambda: False, step=1_000, hard_limit=10_000)
+
+    def test_now_property(self):
+        system = MemorySystem(SystemConfig(
+            refresh_policy=RefreshPolicy.NONE))
+        system.sim.run(until=5_000)
+        assert system.now == 5_000

@@ -1,0 +1,181 @@
+"""Tests for workload generators: patterns, SPEC mixes, website traces."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dram.address import AddressMapper
+from repro.sim.config import DramOrg
+from repro.sim.engine import MS, US
+from repro.workloads.patterns import (
+    bits_from_text,
+    checkered_bits,
+    constant_bits,
+    random_symbols,
+    standard_patterns,
+    text_from_bits,
+)
+from repro.workloads.spec import (
+    WorkloadMix,
+    apps_for_mix,
+    make_workload_mixes,
+)
+from repro.workloads.websites import (
+    PAPER_WEBSITES,
+    WebsiteCatalog,
+    WebsiteProfile,
+)
+
+
+class TestPatterns:
+    def test_micro_is_40_bits(self):
+        bits = bits_from_text("MICRO")
+        assert len(bits) == 40
+        assert set(bits) <= {0, 1}
+
+    def test_text_roundtrip(self):
+        assert text_from_bits(bits_from_text("MICRO")) == "MICRO"
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32,
+                                          max_codepoint=126),
+                   min_size=1, max_size=20))
+    def test_roundtrip_any_printable_ascii(self, text):
+        assert text_from_bits(bits_from_text(text)) == text
+
+    def test_text_from_bits_rejects_partial_bytes(self):
+        with pytest.raises(ValueError):
+            text_from_bits([1, 0, 1])
+
+    def test_constant_and_checkered(self):
+        assert constant_bits(3, 1) == [1, 1, 1]
+        assert checkered_bits(4, 0) == [0, 1, 0, 1]
+        assert checkered_bits(4, 1) == [1, 0, 1, 0]
+
+    def test_pattern_validation(self):
+        with pytest.raises(ValueError):
+            constant_bits(3, 2)
+        with pytest.raises(ValueError):
+            checkered_bits(3, -1)
+
+    def test_standard_patterns_cover_paper_set(self):
+        patterns = standard_patterns(8)
+        assert set(patterns) == {"all-1s", "all-0s", "checkered-0",
+                                 "checkered-1"}
+        assert all(len(v) == 8 for v in patterns.values())
+
+    def test_random_symbols_in_range_and_seeded(self):
+        a = random_symbols(50, 4, seed=1)
+        b = random_symbols(50, 4, seed=1)
+        c = random_symbols(50, 4, seed=2)
+        assert a == b != c
+        assert all(0 <= s < 4 for s in a)
+
+    def test_random_symbols_rejects_tiny_alphabet(self):
+        with pytest.raises(ValueError):
+            random_symbols(5, 1, seed=0)
+
+
+class TestSpecMixes:
+    def test_requested_count(self):
+        assert len(make_workload_mixes(7, seed=1)) == 7
+
+    def test_canonical_corners_first(self):
+        mixes = make_workload_mixes(4)
+        assert mixes[0].classes == ("H", "H", "H", "H")
+        assert mixes[2].classes == ("L", "L", "L", "L")
+
+    def test_deterministic(self):
+        assert make_workload_mixes(10, seed=3) == \
+            make_workload_mixes(10, seed=3)
+
+    def test_apps_have_disjoint_row_regions(self):
+        org = DramOrg()
+        mix = make_workload_mixes(1)[0]
+        apps = apps_for_mix(mix, org, n_requests=100)
+        bases = [app.row_base for app in apps]
+        assert len(set(bases)) == 4
+
+    def test_apps_span_all_banks(self):
+        org = DramOrg()
+        apps = apps_for_mix(make_workload_mixes(1)[0], org, 100)
+        assert all(len(app.banks) == org.banks_per_rank for app in apps)
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadMix("bad", ("H", "X", "L", "M")).validate()
+
+
+class TestWebsites:
+    def test_catalog_uses_paper_site_names(self):
+        catalog = WebsiteCatalog(5, seed=0)
+        assert catalog.names == list(PAPER_WEBSITES[:5])
+        assert len(catalog) == 5
+
+    def test_catalog_bounds(self):
+        with pytest.raises(ValueError):
+            WebsiteCatalog(0)
+        with pytest.raises(ValueError):
+            WebsiteCatalog(41)
+
+    def test_profile_generation_deterministic(self):
+        a = WebsiteProfile.generate("x", seed=7)
+        b = WebsiteProfile.generate("x", seed=7)
+        assert a.phases == b.phases
+
+    def test_different_seeds_differ(self):
+        a = WebsiteProfile.generate("x", seed=7)
+        b = WebsiteProfile.generate("x", seed=8)
+        assert a.phases != b.phases
+
+    def test_phase_shares_sum_to_one(self):
+        profile = WebsiteProfile.generate("x", seed=3)
+        assert sum(p.duration_share for p in profile.phases) == \
+            pytest.approx(1.0)
+
+    def test_trace_spans_duration(self):
+        mapper = AddressMapper(DramOrg())
+        profile = WebsiteProfile.generate("x", seed=3)
+        trace = profile.trace(1 * MS, trace_seed=1, mapper=mapper)
+        assert trace[0][0] >= 0
+        assert trace[-1][0] <= 1 * MS
+        offsets = [t for t, _ in trace]
+        assert offsets == sorted(offsets)
+
+    def test_trace_seed_jitters_but_preserves_shape(self):
+        mapper = AddressMapper(DramOrg())
+        profile = WebsiteProfile.generate("x", seed=3)
+        t1 = profile.trace(500 * US, 1, mapper)
+        t2 = profile.trace(500 * US, 2, mapper)
+        assert t1 != t2
+        assert abs(len(t1) - len(t2)) < 0.3 * len(t1)
+
+    def test_trace_addresses_decodable(self):
+        mapper = AddressMapper(DramOrg())
+        profile = WebsiteProfile.generate("x", seed=4)
+        for _, addr in profile.trace(100 * US, 1, mapper)[:50]:
+            mapper.decode(addr)  # must not raise
+
+    def test_hot_pair_phases_create_row_conflicts(self):
+        """The dual-stream hot traffic must alternate between two rows
+        of one bank (the pattern that ramps activation counters)."""
+        mapper = AddressMapper(DramOrg())
+        profile = WebsiteProfile.generate("x", seed=5)
+        if not any(p.hot_pair for p in profile.phases):
+            pytest.skip("seed produced no hot phases")
+        trace = profile.trace(1 * MS, 1, mapper)
+        coords = [mapper.decode(a) for _, a in trace]
+        alternations = sum(
+            1 for a, b in zip(coords, coords[1:])
+            if (a.bankgroup, a.bank) == (b.bankgroup, b.bank)
+            and a.row != b.row)
+        assert alternations > len(coords) / 4
+
+    def test_hot_streams_use_fresh_lines(self):
+        """Stream accesses walk through new cache lines, so the hot
+        traffic cannot be filtered by any cache (Section 10.3)."""
+        mapper = AddressMapper(DramOrg())
+        profile = WebsiteProfile.generate("x", seed=5)
+        trace = profile.trace(1 * MS, 1, mapper)
+        lines = [addr // 64 for _, addr in trace]
+        unique_fraction = len(set(lines)) / len(lines)
+        assert unique_fraction > 0.4
