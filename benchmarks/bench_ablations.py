@@ -10,13 +10,15 @@
    1-bits stop fitting the ~14 us activation ramp + 1.4 us back-off.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+ablation_refresh_postponing = driver("ablation-refresh")
+ablation_trecv = driver("ablation-trecv")
+ablation_window_size = driver("ablation-window")
 
 
 def test_ablation_refresh_postponing(benchmark):
-    table = run_once(benchmark, E.ablation_refresh_postponing)
+    table = run_once(benchmark, ablation_refresh_postponing)
     publish(table, "ablation_refresh_postponing")
     separations = dict(zip(table.column("policy"),
                            table.column("separation (ns)")))
@@ -26,7 +28,7 @@ def test_ablation_refresh_postponing(benchmark):
 
 def test_ablation_trecv(benchmark):
     table = run_once(benchmark,
-                     lambda: E.ablation_trecv(n_bits=12))
+                     lambda: ablation_trecv(n_bits=12))
     publish(table, "ablation_trecv")
     caps = dict(zip(table.column("T_recv"),
                     table.column("capacity (Kbps)")))
@@ -35,7 +37,7 @@ def test_ablation_trecv(benchmark):
 
 def test_ablation_window_size(benchmark):
     table = run_once(benchmark,
-                     lambda: E.ablation_window_size(n_bits=12))
+                     lambda: ablation_window_size(n_bits=12))
     publish(table, "ablation_window_size")
     rows = {r[0]: r for r in table.rows}
     # Longer windows cost rate without buying reliability here.

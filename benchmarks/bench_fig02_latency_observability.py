@@ -5,14 +5,14 @@ Paper result: back-offs appear as a distinct top latency level
 ~2*N_BO - 1 requests of the interleaved two-row measurement loop.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig2_latency_observability = driver("fig2")
 
 
 def test_fig02_latency_observability(benchmark):
     out = run_once(benchmark,
-                   lambda: E.fig2_latency_observability(n_samples=512,
+                   lambda: fig2_latency_observability(n_samples=512,
                                                         nbo=128))
     table = out["table"]
     publish(table, "fig02_latency_observability")

@@ -5,14 +5,14 @@ Paper result: the 40-bit message decodes after 40 windows; the channel
 achieves 39.0 Kbps raw bit rate across all four message patterns.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig3_prac_message = driver("fig3")
 
 
 def test_fig03_prac_message(benchmark):
     out = run_once(benchmark,
-                   lambda: E.fig3_prac_message(text="MICRO",
+                   lambda: fig3_prac_message(text="MICRO",
                                                pattern_bits=40))
     publish(out["table"], "fig03_prac_message")
 

@@ -4,14 +4,14 @@ Paper result: 28.8 Kbps at 1% noise; capacity stays above 20.7 Kbps
 until very high noise intensity (~88%), then degrades.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig4_prac_noise_sweep = driver("fig4")
 
 
 def test_fig04_prac_noise_sweep(benchmark):
     table = run_once(benchmark,
-                     lambda: E.fig4_prac_noise_sweep(n_bits=24))
+                     lambda: fig4_prac_noise_sweep(n_bits=24))
     publish(table, "fig04_prac_noise_sweep")
 
     caps = table.column("capacity (Kbps)")

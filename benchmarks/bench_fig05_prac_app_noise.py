@@ -4,13 +4,13 @@ Paper result: capacity 36.0 / 32.2 / 31.2 Kbps for L / M / H memory
 intensity -- interference degrades but never defeats the channel.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig5_prac_app_noise = driver("fig5")
 
 
 def test_fig05_prac_app_noise(benchmark):
-    table = run_once(benchmark, lambda: E.fig5_prac_app_noise(n_bits=24))
+    table = run_once(benchmark, lambda: fig5_prac_app_noise(n_bits=24))
     publish(table, "fig05_prac_app_noise")
 
     caps = dict(zip(table.column("memory intensity"),

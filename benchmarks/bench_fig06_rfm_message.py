@@ -5,14 +5,14 @@ Paper result: the 40-bit message decodes after 40 windows; 48.7 Kbps
 raw bit rate; several RFMs per 1-window give noise robustness.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig6_rfm_message = driver("fig6")
 
 
 def test_fig06_rfm_message(benchmark):
     out = run_once(benchmark,
-                   lambda: E.fig6_rfm_message(text="MICRO",
+                   lambda: fig6_rfm_message(text="MICRO",
                                               pattern_bits=40))
     publish(out["table"], "fig06_rfm_message")
 

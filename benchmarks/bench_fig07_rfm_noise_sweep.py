@@ -5,14 +5,15 @@ intensity than the PRAC channel's because PRFM's bank-level counters
 aggregate every activation to the bank.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig7_rfm_noise_sweep = driver("fig7")
+fig4_prac_noise_sweep = driver("fig4")
 
 
 def test_fig07_rfm_noise_sweep(benchmark):
     table = run_once(benchmark,
-                     lambda: E.fig7_rfm_noise_sweep(n_bits=24))
+                     lambda: fig7_rfm_noise_sweep(n_bits=24))
     publish(table, "fig07_rfm_noise_sweep")
 
     caps = table.column("capacity (Kbps)")
@@ -26,8 +27,8 @@ def test_fig07_rfm_less_noise_robust_than_prac(benchmark):
     """Comparative claim of Section 7.3: at high noise the RFM channel
     has degraded while the PRAC channel still operates."""
     def both():
-        rfm = E.fig7_rfm_noise_sweep(intensities=(88,), n_bits=16)
-        prac = E.fig4_prac_noise_sweep(intensities=(88,), n_bits=16)
+        rfm = fig7_rfm_noise_sweep(intensities=(88,), n_bits=16)
+        prac = fig4_prac_noise_sweep(intensities=(88,), n_bits=16)
         return rfm.rows[0][1], prac.rows[0][1]  # error probabilities
 
     rfm_err, prac_err = run_once(benchmark, both)

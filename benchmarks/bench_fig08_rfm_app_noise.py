@@ -5,13 +5,13 @@ real-application interference only slightly reduces capacity because
 the T_recv count threshold filters stray RFMs.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig8_rfm_app_noise = driver("fig8")
 
 
 def test_fig08_rfm_app_noise(benchmark):
-    table = run_once(benchmark, lambda: E.fig8_rfm_app_noise(n_bits=24))
+    table = run_once(benchmark, lambda: fig8_rfm_app_noise(n_bits=24))
     publish(table, "fig08_rfm_app_noise")
 
     caps = dict(zip(table.column("memory intensity"),

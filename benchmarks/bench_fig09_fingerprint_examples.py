@@ -7,17 +7,18 @@ differ (the basis of the fingerprinting side channel).
 
 import numpy as np
 
-from repro.analysis import experiments as E
 from repro.core.fingerprint import FingerprintConfig, WebsiteFingerprinter
 from repro.sim.engine import MS
 from repro.workloads.websites import WebsiteCatalog
 
-from conftest import publish, run_once
+from conftest import driver, publish, run_once
+
+fig9_fingerprint_examples = driver("fig9")
 
 
 def test_fig09_fingerprint_examples(benchmark):
     table = run_once(benchmark,
-                     lambda: E.fig9_fingerprint_examples(
+                     lambda: fig9_fingerprint_examples(
                          n_sites=3, traces_per_site=2, duration_ps=1 * MS))
     publish(table, "fig09_fingerprint_examples")
 

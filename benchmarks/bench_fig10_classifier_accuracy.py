@@ -5,15 +5,16 @@ Paper result: the decision tree reaches 0.75 accuracy over 40 sites
 SPEC noise accuracy drops to 66.1% but the attack still works.
 """
 
-from repro.analysis import experiments as E
 from repro.sim.engine import MS
 
-from conftest import publish, run_once
+from conftest import driver, publish, run_once
+
+fig10_table2_fingerprint = driver("fig10")
 
 
 def test_fig10_classifier_accuracy(benchmark):
     out = run_once(benchmark,
-                   lambda: E.fig10_table2_fingerprint(
+                   lambda: fig10_table2_fingerprint(
                        n_sites=10, traces_per_site=10,
                        duration_ps=1 * MS, n_splits=5))
     publish(out["fig10"], "fig10_classifier_accuracy")
@@ -36,7 +37,7 @@ def test_fig10_with_application_noise(benchmark):
     """Section 8, last paragraph: SPEC noise lowers accuracy but does
     not defeat the attack (paper: 75% -> 66.1%)."""
     out = run_once(benchmark,
-                   lambda: E.fig10_table2_fingerprint(
+                   lambda: fig10_table2_fingerprint(
                        n_sites=6, traces_per_site=6,
                        duration_ps=1 * MS, n_splits=3, with_noise=True))
     publish(out["fig10"], "fig10_with_noise")

@@ -7,14 +7,14 @@ capacity falls as the recovery shrinks from 4 to 2 to 1 RFM.
 
 import numpy as np
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig11_rfms_per_backoff = driver("fig11")
 
 
 def test_fig11_rfms_per_backoff(benchmark):
     table = run_once(benchmark,
-                     lambda: E.fig11_rfms_per_backoff(
+                     lambda: fig11_rfms_per_backoff(
                          intensities=(1, 25, 50, 75, 100), n_bits=16))
     publish(table, "fig11_rfms_per_backoff")
 

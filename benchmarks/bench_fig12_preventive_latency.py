@@ -6,14 +6,14 @@ to actually refresh one aggressor's victims (blast radius 1/2), so
 latency reduction cannot fix LeakyHammer.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig12_preventive_latency = driver("fig12")
 
 
 def test_fig12_preventive_latency(benchmark):
     table = run_once(benchmark,
-                     lambda: E.fig12_preventive_latency(n_bits=16))
+                     lambda: fig12_preventive_latency(n_bits=16))
     publish(table, "fig12_preventive_latency")
 
     caps = dict(zip(table.column("latency (ns)"),

@@ -7,14 +7,14 @@ choice at very low thresholds; PRAC-Bank tracks PRAC within 2.5%
 everywhere.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+fig13_performance = driver("fig13")
 
 
 def test_fig13_countermeasure_performance(benchmark):
     out = run_once(benchmark,
-                   lambda: E.fig13_performance(
+                   lambda: fig13_performance(
                        nrh_values=(1024, 512, 256, 128, 64),
                        n_mixes=3, n_requests=8_000))
     table = out["table"]

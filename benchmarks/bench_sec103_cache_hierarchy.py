@@ -5,15 +5,16 @@ channels lose only 5.8% / 2.1% capacity and fingerprinting drops by
 4.2% -- bigger caches do not prevent LeakyHammer.
 """
 
-from repro.analysis import experiments as E
 from repro.sim.engine import MS
 
-from conftest import publish, run_once
+from conftest import driver, publish, run_once
+
+sec103_cache_hierarchy = driver("sec103")
 
 
 def test_sec103_cache_hierarchy(benchmark):
     out = run_once(benchmark,
-                   lambda: E.sec103_cache_hierarchy(
+                   lambda: sec103_cache_hierarchy(
                        n_bits=24, n_sites=6, traces_per_site=6,
                        duration_ps=1 * MS))
     publish(out["channels"], "sec103_channels")

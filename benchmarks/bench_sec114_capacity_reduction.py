@@ -5,14 +5,14 @@ by the non-interference argument); PRAC-RIAC reduces capacity by ~86%
 on average by injecting random-threshold noise.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+sec114_capacity_reduction = driver("sec114")
 
 
 def test_sec114_capacity_reduction(benchmark):
     table = run_once(benchmark,
-                     lambda: E.sec114_capacity_reduction(
+                     lambda: sec114_capacity_reduction(
                          n_bits=24, noise_intensity=30.0))
     publish(table, "sec114_capacity_reduction")
 

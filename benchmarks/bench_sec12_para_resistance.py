@@ -5,14 +5,14 @@ make RowHammer-defense timing channels hard to build because an
 attacker cannot reliably trigger or observe preventive actions.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+sec12_para_resistance = driver("sec12")
 
 
 def test_sec12_para_resistance(benchmark):
     table = run_once(benchmark,
-                     lambda: E.sec12_para_resistance(n_bits=16))
+                     lambda: sec12_para_resistance(n_bits=16))
     publish(table, "sec12_para_resistance")
 
     metrics = dict(zip(table.column("metric"), table.column("value")))

@@ -5,14 +5,14 @@ ternary / quaternary; higher-order alphabets are less noise tolerant
 (errors 0.04 and 0.29 at the base noise level).
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+sec63_multibit = driver("sec63")
 
 
 def test_sec63_multibit(benchmark):
     table = run_once(benchmark,
-                     lambda: E.sec63_multibit(n_symbols=32,
+                     lambda: sec63_multibit(n_symbols=32,
                                               noise_intensity=1.0))
     publish(table, "sec63_multibit")
 

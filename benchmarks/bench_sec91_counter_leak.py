@@ -4,14 +4,14 @@ Paper result: a 7-bit counter value (N_BO = 128) leaks in ~13.6 us on
 average, i.e., ~501 Kbps leakage throughput.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+sec91_counter_leak = driver("sec91")
 
 
 def test_sec91_counter_leak(benchmark):
     out = run_once(benchmark,
-                   lambda: E.sec91_counter_leak(
+                   lambda: sec91_counter_leak(
                        secrets=list(range(4, 124, 12))))
     publish(out["table"], "sec91_counter_leak")
 

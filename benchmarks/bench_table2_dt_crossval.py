@@ -4,15 +4,16 @@ Paper result: F1 71.8 (4.2), precision 74.1 (4.4), recall 72.4 (4.2)
 over 10-fold CV -- i.e., high and stable scores far above chance.
 """
 
-from repro.analysis import experiments as E
 from repro.sim.engine import MS
 
-from conftest import publish, run_once
+from conftest import driver, publish, run_once
+
+fig10_table2_fingerprint = driver("fig10")
 
 
 def test_table2_dt_crossval(benchmark):
     out = run_once(benchmark,
-                   lambda: E.fig10_table2_fingerprint(
+                   lambda: fig10_table2_fingerprint(
                        n_sites=8, traces_per_site=10,
                        duration_ps=1 * MS, n_splits=10))
     publish(out["table2"], "table2_dt_crossval_10fold")

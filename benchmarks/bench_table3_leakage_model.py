@@ -6,12 +6,12 @@ with row (PRAC) or bank (RFM) colocation the attacker leaks activation
 *counts*; DRAMA needs same-bank colocation.
 """
 
-from repro.analysis import experiments as E
+from conftest import driver, publish, run_once
 
-from conftest import publish, run_once
+table3_leakage_model = driver("table3")
 
 
 def test_table3_leakage_model(benchmark):
-    table = run_once(benchmark, E.table3_leakage_model)
+    table = run_once(benchmark, table3_leakage_model)
     publish(table, "table3_leakage_model")
     assert all(v == "yes" for v in table.column("demonstrated"))

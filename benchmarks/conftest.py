@@ -10,7 +10,14 @@ from __future__ import annotations
 
 from pathlib import Path
 
+from repro.exp.registry import get_experiment
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def driver(name: str):
+    """Resolve an experiment driver through the registry by name."""
+    return get_experiment(name).fn
 
 
 def publish(table, name: str) -> None:

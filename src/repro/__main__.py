@@ -1,32 +1,192 @@
 """Command-line entry point: ``python -m repro``.
 
-Runs the quick reproduction report (scaled-down versions of the
-headline experiments) and prints it; ``--save PATH`` also writes the
-markdown to disk.
+Subcommands::
+
+    python -m repro list                 # experiment catalog
+    python -m repro run fig4 --workers 8 # one experiment, parallel sweep
+    python -m repro report               # quick reproduction report
+
+``run`` goes through the on-disk result cache (``.repro-cache/`` or
+``$REPRO_CACHE_DIR``); ``--no-cache`` forces a fresh execution.
+Arbitrary driver parameters pass through ``-p key=value`` (values are
+parsed as JSON, falling back to strings).
+
+For backwards compatibility, ``python -m repro`` with no subcommand
+behaves like ``report``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.analysis.figures import FigureTable
 from repro.analysis.report import quick_report
+from repro.exp.registry import RegistryError, all_experiments
+from repro.exp.runner import ExperimentParamError, run_experiment
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="LeakyHammer reproduction quick report")
-    parser.add_argument("--save", metavar="PATH", default=None,
-                        help="also write the markdown report to PATH")
-    args = parser.parse_args(argv)
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _parse_param(text: str) -> tuple[str, object]:
+    """Parse one ``-p key=value`` override; value is JSON when possible."""
+    key, sep, raw = text.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"expected key=value, got {text!r}")
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return key, value
 
-    report = quick_report()
+
+def iter_tables(value):
+    """Yield every FigureTable reachable inside an experiment result."""
+    if isinstance(value, FigureTable):
+        yield value
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from iter_tables(item)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from iter_tables(item)
+
+
+def _scale_text(scale: dict) -> str:
+    return ", ".join(f"{k}={v}" for k, v in scale.items()) or "-"
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_list(args) -> int:
+    specs = all_experiments()
+    if args.format == "md":
+        print("| name | figure | parallel | paper claim |")
+        print("|------|--------|----------|-------------|")
+        for spec in specs:
+            parallel = "yes" if spec.parallelizable else "-"
+            print(f"| `{spec.name}` | {spec.figure} | {parallel} "
+                  f"| {spec.claim} |")
+        return 0
+    table = FigureTable(
+        f"Registered experiments ({len(specs)})",
+        ["name", "figure", "parallel", "default scale", "paper claim"])
+    for spec in specs:
+        table.add_row(spec.name, spec.figure,
+                      "yes" if spec.parallelizable else "-",
+                      _scale_text(spec.default_scale), spec.claim)
+    print(table.to_text())
+    return 0
+
+
+def cmd_run(args) -> int:
+    params = dict(args.param or [])
+    try:
+        run = run_experiment(
+            args.experiment, params, workers=args.workers, seed=args.seed,
+            use_cache=not args.no_cache, cache_dir=args.cache_dir)
+    except (RegistryError, ExperimentParamError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    rendered = "\n\n".join(t.to_text() for t in iter_tables(run.value))
+    if rendered:
+        print(rendered)
+    else:
+        print(run.value)
+    source = "cache" if run.cached else (
+        f"{run.trials} trial(s) in {run.elapsed_s:.1f}s")
+    print(f"\n[{run.name}] result from {source} "
+          f"(key {run.key[:12]}...)", file=sys.stderr)
+    if args.save:
+        with open(args.save, "w") as handle:
+            handle.write(rendered or str(run.value))
+            handle.write("\n")
+        print(f"result written to {args.save}", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args) -> int:
+    report = quick_report(workers=args.workers,
+                          use_cache=not args.no_cache,
+                          cache_dir=args.cache_dir)
     print(report.to_markdown())
     if args.save:
         path = report.save(args.save)
         print(f"\nreport written to {path}", file=sys.stderr)
     return 0 if report.all_passed else 1
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_execution_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="fan independent trials out over N worker "
+                             "processes (default: serial)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="result cache directory (default: "
+                             ".repro-cache or $REPRO_CACHE_DIR)")
+    parser.add_argument("--save", metavar="PATH", default=None,
+                        help="also write the output to PATH")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="LeakyHammer reproduction harness")
+    # Legacy pre-subcommand flag; its own dest so a subcommand's --save
+    # default cannot overwrite it during subparser parsing.
+    parser.add_argument("--save", dest="legacy_save", metavar="PATH",
+                        default=None, help=argparse.SUPPRESS)
+    sub = parser.add_subparsers(dest="command")
+
+    p_list = sub.add_parser(
+        "list", help="show the experiment catalog from the registry")
+    p_list.add_argument("--format", choices=("table", "md"),
+                        default="table",
+                        help="output format (md = markdown table)")
+    p_list.set_defaults(func=cmd_list)
+
+    p_run = sub.add_parser(
+        "run", help="run one experiment (cached, optionally parallel)")
+    p_run.add_argument("experiment", metavar="NAME",
+                       help="experiment name (see `list`)")
+    _add_execution_options(p_run)
+    p_run.add_argument("--seed", type=int, default=None,
+                       help="override the experiment seed (if it has one)")
+    p_run.add_argument("-p", "--param", action="append",
+                       type=_parse_param, metavar="KEY=VALUE",
+                       help="driver parameter override (JSON value)")
+    p_run.set_defaults(func=cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="run the quick reproduction report")
+    _add_execution_options(p_report)
+    p_report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        # Legacy interface: `python -m repro [--save PATH]` == report.
+        report = quick_report()
+        print(report.to_markdown())
+        if args.legacy_save:
+            path = report.save(args.legacy_save)
+            print(f"\nreport written to {path}", file=sys.stderr)
+        return 0 if report.all_passed else 1
+    if args.legacy_save and getattr(args, "save", None) is None:
+        args.save = args.legacy_save
+    return args.func(args)
 
 
 if __name__ == "__main__":

@@ -1,675 +1,76 @@
-"""Experiment drivers: one function per paper table/figure.
+"""Backwards-compatible shim over :mod:`repro.exp.drivers`.
 
-Every driver returns :class:`~repro.analysis.figures.FigureTable`
-objects containing the same rows/series the paper reports.  All sizes
-are parameterized; the defaults are reduced-but-faithful scales (the
-paper's full runs use 100-byte messages, 40 websites x 50 traces and
-60 four-core workloads on a cluster -- see DESIGN.md section 7).
+The experiment drivers used to live here as one monolith; they now
+live in per-topic modules under ``repro.exp.drivers`` and register
+themselves with the experiment registry (``repro.exp.registry``).
+Every public name keeps importing from here, so existing code like
+
+>>> from repro.analysis import experiments as E
+>>> table = E.fig4_prac_noise_sweep(intensities=(1,), n_bits=4)
+
+continues to work.  New code should resolve drivers through the
+registry (``repro.exp.get_experiment``) or run them via
+``repro.exp.run_experiment`` / ``python -m repro run``.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.analysis.figures import FigureTable, render_strip
-from repro.analysis.speedup import (
-    normalized_weighted_speedup,
-    run_mix,
-    run_solo,
+from repro.exp.drivers.ablations import (
+    ablation_refresh_postponing,
+    ablation_trecv,
+    ablation_window_size,
 )
-from repro.core.capacity import channel_capacity_bps
-from repro.core.counter_leak import CounterLeakAttack, CounterLeakConfig
-from repro.core.fingerprint import FingerprintConfig, WebsiteFingerprinter
-from repro.core.leakage_model import demonstrate_leakage_matrix
-from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
-from repro.core.probe import EventKind, LatencyClassifier
-from repro.core.rfm_channel import RfmChannelConfig, RfmCovertChannel
-from repro.cache.hierarchy import HierarchyConfig
-from repro.cpu.agent import run_agents
-from repro.cpu.probe import LatencyProbe
-from repro.ml import cross_validate, paper_model_zoo, train_test_split
-from repro.ml.metrics import accuracy_score
-from repro.ml.tree import DecisionTreeClassifier
-from repro.sim.config import (
-    DefenseKind,
-    DefenseParams,
-    RefreshPolicy,
-    SystemConfig,
+from repro.exp.drivers.common import DEFAULT_INTENSITIES, evaluate_patterns
+from repro.exp.drivers.fingerprint import (
+    fig9_fingerprint_examples,
+    fig10_table2_fingerprint,
+    sec103_cache_hierarchy,
 )
-from repro.sim.engine import MS, NS, US
-from repro.system import MemorySystem
-from repro.workloads.patterns import random_symbols, standard_patterns
-from repro.workloads.spec import apps_for_mix, make_workload_mixes
-from repro.workloads.websites import WebsiteCatalog
-
-#: Noise intensities swept by Figs. 4/7/11 (paper sweeps 1..100%).
-DEFAULT_INTENSITIES = (1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
-
-
-# ----------------------------------------------------------------------
-# Helpers
-# ----------------------------------------------------------------------
-def evaluate_patterns(channel_factory, n_bits: int) -> dict:
-    """Transmit the paper's four message patterns; pool the bit errors
-    (Section 5.2's metric) and compute the channel capacity."""
-    sent_all: list[int] = []
-    decoded_all: list[int] = []
-    raw_rate = None
-    for bits in standard_patterns(n_bits).values():
-        result = channel_factory().transmit(bits)
-        sent_all.extend(result.sent)
-        decoded_all.extend(result.decoded)
-        raw_rate = result.raw_bit_rate_bps
-    errors = sum(1 for s, d in zip(sent_all, decoded_all) if s != d)
-    e = errors / len(sent_all)
-    return {
-        "raw_bit_rate_bps": raw_rate,
-        "error_probability": e,
-        "capacity_bps": channel_capacity_bps(raw_rate, e),
-        "bits": len(sent_all),
-    }
-
-
-# ----------------------------------------------------------------------
-# Fig. 2 -- PRAC-induced latencies observed from userspace
-# ----------------------------------------------------------------------
-def fig2_latency_observability(n_samples: int = 512,
-                               nbo: int = 128) -> dict:
-    """Reproduce Fig. 2: the latency levels a measurement loop sees."""
-    config = SystemConfig(
-        defense=DefenseParams(kind=DefenseKind.PRAC, nbo=nbo))
-    system = MemorySystem(config)
-    addrs = system.mapper.same_bank_rows(2, bankgroup=0, bank=0,
-                                         first_row=0, stride=8)
-    probe = LatencyProbe(system, addrs, max_samples=n_samples)
-    run_agents(system, [probe], hard_limit=50 * MS)
-    classifier = LatencyClassifier(config)
-
-    by_kind: dict[EventKind, list[int]] = {}
-    first_backoff = None
-    for i, sample in enumerate(probe.samples):
-        kind = classifier.classify(sample.delta)
-        by_kind.setdefault(kind, []).append(sample.delta)
-        if kind is EventKind.BACKOFF and first_backoff is None:
-            first_backoff = i
-
-    table = FigureTable(
-        "Fig. 2: memory request latencies under PRAC (N_BO="
-        f"{nbo}, {n_samples} requests)",
-        ["event", "count", "mean latency (ns)", "max latency (ns)"])
-    for kind in (EventKind.HIT, EventKind.CONFLICT, EventKind.REFRESH,
-                 EventKind.BACKOFF):
-        deltas = by_kind.get(kind, [])
-        if deltas:
-            table.add_row(kind.value, len(deltas),
-                          sum(deltas) / len(deltas) / NS,
-                          max(deltas) / NS)
-    conflict = by_kind.get(EventKind.CONFLICT, [0])
-    refresh = by_kind.get(EventKind.REFRESH)
-    backoff = by_kind.get(EventKind.BACKOFF)
-    if refresh and backoff:
-        ratio = (sum(backoff) / len(backoff)) / (sum(refresh) / len(refresh))
-        table.add_note(f"back-off latency is {ratio:.2f}x the periodic-"
-                       "refresh latency (paper: 1.9x)")
-    if first_backoff is not None:
-        table.add_note(f"first back-off at request #{first_backoff} "
-                       f"(expected ~{2 * nbo - 1})")
-    return {
-        "table": table,
-        "samples": [(s.end_time, s.delta) for s in probe.samples],
-        "first_backoff_index": first_backoff,
-        "ground_truth_backoffs": system.stats.backoffs,
-    }
-
-
-# ----------------------------------------------------------------------
-# Figs. 3 and 6 -- 40-bit "MICRO" transmissions + raw bit rates
-# ----------------------------------------------------------------------
-def fig3_prac_message(text: str = "MICRO", pattern_bits: int = 40) -> dict:
-    """Fig. 3 message plot plus the Section 6.3 raw-bit-rate result."""
-    channel = PracCovertChannel()
-    result = channel.transmit_text(text)
-    table = FigureTable(
-        f"Fig. 3: PRAC covert channel transmitting {len(result.sent)}-bit "
-        f"'{text}'",
-        ["window", "bit sent", "back-offs seen", "decoded"])
-    for w in result.windows:
-        table.add_row(w.index, w.sent, w.backoffs, w.decoded)
-    table.add_note(f"decoded correctly: {result.sent == result.decoded}")
-    rates = evaluate_patterns(PracCovertChannel, pattern_bits)
-    table.add_note(
-        f"raw bit rate over 4 patterns: "
-        f"{rates['raw_bit_rate_bps'] / 1e3:.1f} Kbps (paper: 39.0)")
-    return {"table": table, "result": result, "rates": rates}
-
-
-def fig6_rfm_message(text: str = "MICRO", pattern_bits: int = 40) -> dict:
-    """Fig. 6 message plot plus the Section 7.3 raw-bit-rate result."""
-    channel = RfmCovertChannel()
-    result = channel.transmit_text(text)
-    table = FigureTable(
-        f"Fig. 6: RFM covert channel transmitting {len(result.sent)}-bit "
-        f"'{text}'",
-        ["window", "bit sent", "RFMs seen", "decoded"])
-    for w in result.windows:
-        table.add_row(w.index, w.sent, w.rfms, w.decoded)
-    table.add_note(f"decoded correctly: {result.sent == result.decoded}")
-    rates = evaluate_patterns(RfmCovertChannel, pattern_bits)
-    table.add_note(
-        f"raw bit rate over 4 patterns: "
-        f"{rates['raw_bit_rate_bps'] / 1e3:.1f} Kbps (paper: 48.7)")
-    return {"table": table, "result": result, "rates": rates}
-
-
-# ----------------------------------------------------------------------
-# Figs. 4 and 7 -- capacity/error vs noise intensity
-# ----------------------------------------------------------------------
-def fig4_prac_noise_sweep(intensities=DEFAULT_INTENSITIES,
-                          n_bits: int = 24) -> FigureTable:
-    table = FigureTable(
-        "Fig. 4: PRAC covert channel vs noise intensity",
-        ["noise intensity (%)", "error probability", "capacity (Kbps)"])
-    for intensity in intensities:
-        stats = evaluate_patterns(
-            lambda i=intensity: PracCovertChannel(
-                PracChannelConfig(noise_intensity=i)), n_bits)
-        table.add_row(intensity, stats["error_probability"],
-                      stats["capacity_bps"] / 1e3)
-    table.add_note("paper: 28.8 Kbps at 1% noise; capacity stays "
-                   ">20.7 Kbps until ~88% intensity")
-    return table
-
-
-def fig7_rfm_noise_sweep(intensities=DEFAULT_INTENSITIES,
-                         n_bits: int = 24) -> FigureTable:
-    table = FigureTable(
-        "Fig. 7: RFM covert channel vs noise intensity",
-        ["noise intensity (%)", "error probability", "capacity (Kbps)"])
-    for intensity in intensities:
-        stats = evaluate_patterns(
-            lambda i=intensity: RfmCovertChannel(
-                RfmChannelConfig(noise_intensity=i)), n_bits)
-        table.add_row(intensity, stats["error_probability"],
-                      stats["capacity_bps"] / 1e3)
-    table.add_note("paper: 46.3 Kbps at 1% noise; knee at lower noise "
-                   "intensity than the PRAC channel (bank counters "
-                   "aggregate all activations)")
-    return table
-
-
-# ----------------------------------------------------------------------
-# Figs. 5 and 8 -- capacity/error vs co-running SPEC intensity
-# ----------------------------------------------------------------------
-def fig5_prac_app_noise(n_bits: int = 24) -> FigureTable:
-    table = FigureTable(
-        "Fig. 5: PRAC covert channel vs SPEC-like memory intensity",
-        ["memory intensity", "error probability", "capacity (Kbps)"])
-    for cls in ("L", "M", "H"):
-        stats = evaluate_patterns(
-            lambda c=cls: PracCovertChannel(
-                PracChannelConfig(spec_class=c)), n_bits)
-        table.add_row(cls, stats["error_probability"],
-                      stats["capacity_bps"] / 1e3)
-    table.add_note("paper: 36.0 / 32.2 / 31.2 Kbps for L / M / H")
-    return table
-
-
-def fig8_rfm_app_noise(n_bits: int = 24) -> FigureTable:
-    table = FigureTable(
-        "Fig. 8: RFM covert channel vs SPEC-like memory intensity",
-        ["memory intensity", "error probability", "capacity (Kbps)"])
-    for cls in ("L", "M", "H"):
-        stats = evaluate_patterns(
-            lambda c=cls: RfmCovertChannel(
-                RfmChannelConfig(spec_class=c)), n_bits)
-        table.add_row(cls, stats["error_probability"],
-                      stats["capacity_bps"] / 1e3)
-    table.add_note("paper: 48.1 / 44.4 / 43.6 Kbps for L / M / H")
-    return table
-
-
-# ----------------------------------------------------------------------
-# Section 6.3 -- multibit covert channels
-# ----------------------------------------------------------------------
-def sec63_multibit(n_symbols: int = 32,
-                   noise_intensity: float | None = 1.0) -> FigureTable:
-    table = FigureTable(
-        "Section 6.3: multibit PRAC covert channels",
-        ["levels", "raw bit rate (Kbps)", "error probability",
-         "capacity (Kbps)"])
-    for levels in (2, 3, 4):
-        channel = PracCovertChannel(PracChannelConfig(
-            levels=levels, noise_intensity=noise_intensity))
-        symbols = random_symbols(n_symbols, levels, seed=11)
-        result = channel.transmit(symbols)
-        table.add_row(levels, result.raw_bit_rate_bps / 1e3,
-                      result.error_probability, result.capacity_bps / 1e3)
-    table.add_note("paper raw rates: 39.0 / 61.7 / 76.8 Kbps; higher-order "
-                   "alphabets trade noise tolerance for rate")
-    return table
-
-
-# ----------------------------------------------------------------------
-# Figs. 9/10 + Table 2 -- website fingerprinting
-# ----------------------------------------------------------------------
-def fig9_fingerprint_examples(n_sites: int = 3, traces_per_site: int = 2,
-                              duration_ps: int = 1 * MS) -> FigureTable:
-    cfg = FingerprintConfig(duration_ps=duration_ps)
-    fingerprinter = WebsiteFingerprinter(cfg)
-    catalog = WebsiteCatalog(n_sites, seed=1)
-    table = FigureTable(
-        "Fig. 9: website fingerprints (back-offs per execution window)",
-        ["website", "trace", "back-offs", "strip"])
-    for profile in catalog:
-        for t in range(traces_per_site):
-            trace = fingerprinter.capture(profile, trace_seed=t + 1)
-            counts = trace.window_counts(cfg.n_windows)
-            table.add_row(profile.name, t,
-                          len(trace.backoff_times), render_strip(counts))
-    table.add_note("repeated loads of a site produce similar strips; "
-                   "different sites differ (paper Fig. 9)")
-    return table
-
-
-def fig10_table2_fingerprint(n_sites: int = 10, traces_per_site: int = 10,
-                             duration_ps: int = 1 * MS,
-                             n_splits: int = 5,
-                             with_noise: bool = False) -> dict:
-    """Fig. 10 (classifier accuracies) and Table 2 (decision-tree CV)."""
-    cfg = FingerprintConfig(duration_ps=duration_ps,
-                            spec_noise="H" if with_noise else None)
-    fingerprinter = WebsiteFingerprinter(cfg)
-    catalog = WebsiteCatalog(n_sites, seed=1)
-    X, y, names = fingerprinter.collect_dataset(catalog, traces_per_site)
-
-    Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.3, seed=5)
-    fig10 = FigureTable(
-        f"Fig. 10: classifier accuracy over {n_sites} websites"
-        + (" (with SPEC noise)" if with_noise else ""),
-        ["model", "test accuracy"])
-    accuracies = {}
-    for name, model in paper_model_zoo(seed=3).items():
-        model.fit(Xtr, ytr)
-        acc = accuracy_score(yte, model.predict(Xte))
-        accuracies[name] = acc
-        fig10.add_row(name, acc)
-    fig10.add_note(f"random-guess accuracy: {1.0 / n_sites:.3f} "
-                   "(paper: decision tree 0.75 over 40 sites, 30x random)")
-
-    cv = cross_validate(lambda: DecisionTreeClassifier(seed=3), X, y,
-                        n_splits=n_splits, seed=7)
-    table2 = FigureTable(
-        f"Table 2: decision tree, {n_splits}-fold cross-validation",
-        ["metric", "mean (%)", "std (%)"])
-    for metric in ("f1", "precision", "recall"):
-        table2.add_row(metric.capitalize(), 100 * cv[f"{metric}_mean"],
-                       100 * cv[f"{metric}_std"])
-    table2.add_note("paper: F1 71.8 (4.2), precision 74.1 (4.4), "
-                    "recall 72.4 (4.2)")
-    return {"fig10": fig10, "table2": table2, "accuracies": accuracies,
-            "dataset": (X, y, names), "cv": cv}
-
-
-# ----------------------------------------------------------------------
-# Table 3 -- leakage matrix
-# ----------------------------------------------------------------------
-def table3_leakage_model() -> FigureTable:
-    table = FigureTable(
-        "Table 3: information leaked, demonstrated by micro-simulation",
-        ["attack", "colocation", "leaked information", "demonstrated",
-         "evidence"])
-    for cell in demonstrate_leakage_matrix():
-        table.add_row(cell.attack, cell.granularity, cell.leaked,
-                      "yes" if cell.demonstrated else "NO", cell.detail)
-    return table
-
-
-# ----------------------------------------------------------------------
-# Section 9.1 -- activation-counter value leak
-# ----------------------------------------------------------------------
-def sec91_counter_leak(secrets: list[int] | None = None,
-                       nbo: int = 128) -> dict:
-    if secrets is None:
-        secrets = list(range(3, nbo - 4, 12))
-    attack = CounterLeakAttack(CounterLeakConfig(nbo=nbo))
-    outcome = attack.run(secrets)
-    table = FigureTable(
-        "Section 9.1: leaking PRAC activation-counter values",
-        ["metric", "value"])
-    table.add_row("secrets leaked", len(secrets))
-    table.add_row("accuracy", outcome["accuracy"])
-    table.add_row("mean abs error (counts)", outcome["mean_abs_error"])
-    table.add_row("bits per value", outcome["bits_per_value"])
-    table.add_row("mean time per value (us)", outcome["mean_elapsed_us"])
-    table.add_row("throughput (Kbps)", outcome["throughput_kbps"])
-    table.add_note("paper: 7 bits in 13.6 us on average = 501 Kbps")
-    return {"table": table, "outcome": outcome}
-
-
-# ----------------------------------------------------------------------
-# Fig. 11 -- RFMs per back-off sensitivity
-# ----------------------------------------------------------------------
-def fig11_rfms_per_backoff(intensities=(1, 25, 50, 75, 100),
-                           n_bits: int = 16,
-                           jitter_ps: int = 70 * NS) -> FigureTable:
-    """The Section 10.1 methodology: no refresh postponing, and the
-    receiver's measurements carry real-system timing jitter -- which is
-    what makes a 1-RFM back-off (350 ns) overlap the single-REF latency
-    (295 ns) and confuse the receiver."""
-    table = FigureTable(
-        "Fig. 11: PRAC channel with 1/2/4 RFMs per back-off "
-        "(no refresh postponing)",
-        ["RFMs per back-off", "noise intensity (%)", "error probability",
-         "capacity (Kbps)"])
-    for n_rfms in (4, 2, 1):
-        for intensity in intensities:
-            stats = evaluate_patterns(
-                lambda n=n_rfms, i=intensity: PracCovertChannel(
-                    PracChannelConfig(
-                        n_rfms=n, noise_intensity=i,
-                        measurement_jitter_ps=jitter_ps,
-                        refresh_policy=RefreshPolicy.EVERY_TREFI)),
-                n_bits)
-            table.add_row(n_rfms, intensity, stats["error_probability"],
-                          stats["capacity_bps"] / 1e3)
-    table.add_note("shorter back-offs overlap the periodic-refresh "
-                   "latency and degrade the channel (paper Section 10.1)")
-    return table
-
-
-# ----------------------------------------------------------------------
-# Fig. 12 -- preventive-action latency sweep
-# ----------------------------------------------------------------------
-def fig12_preventive_latency(latencies_ns=(0, 5, 10, 25, 50, 96, 150,
-                                           192, 250),
-                             n_bits: int = 16) -> FigureTable:
-    table = FigureTable(
-        "Fig. 12: channel vs preventive-action latency",
-        ["latency (ns)", "error probability", "capacity (Kbps)"])
-    for latency_ns in latencies_ns:
-        stats = evaluate_patterns(
-            lambda l=latency_ns: PracCovertChannel(PracChannelConfig(
-                backoff_latency_override=l * NS)), n_bits)
-        table.add_row(latency_ns, stats["error_probability"],
-                      stats["capacity_bps"] / 1e3)
-    table.add_note("paper: the channel survives down to ~10 ns -- far "
-                   "below the 96/192 ns minimum for refreshing one "
-                   "aggressor's victims (blast radius 1/2)")
-    return table
-
-
-# ----------------------------------------------------------------------
-# Section 10.3 -- larger cache hierarchy and prefetching
-# ----------------------------------------------------------------------
-def sec103_cache_hierarchy(n_bits: int = 24, n_sites: int = 6,
-                           traces_per_site: int = 6,
-                           duration_ps: int = 1 * MS) -> dict:
-    large = HierarchyConfig.large()
-    big_frontend = large.total_lookup_latency
-
-    channels = FigureTable(
-        "Section 10.3: covert channels with a larger cache hierarchy",
-        ["channel", "hierarchy", "error probability", "capacity (Kbps)"])
-    for name, factory in (
-        ("PRAC", lambda fe=None: PracCovertChannel(PracChannelConfig(
-            noise_intensity=1.0, frontend_latency_override=fe))),
-        ("RFM", lambda fe=None: RfmCovertChannel(RfmChannelConfig(
-            noise_intensity=1.0, frontend_latency_override=fe))),
-    ):
-        base = evaluate_patterns(lambda f=factory: f(None), n_bits)
-        bigger = evaluate_patterns(lambda f=factory: f(big_frontend),
-                                   n_bits)
-        channels.add_row(name, "base (L1+LLC)",
-                         base["error_probability"],
-                         base["capacity_bps"] / 1e3)
-        channels.add_row(name, "large (L1+L2+6MB LLC, BO prefetch)",
-                         bigger["error_probability"],
-                         bigger["capacity_bps"] / 1e3)
-    channels.add_note("paper: 36.7 (-5.8%) and 47.7 (-2.1%) Kbps with the "
-                      "larger hierarchy")
-
-    # Fingerprinting with the browser filtered through the hierarchy.
-    accuracies = {}
-    for label, hierarchy in (("base", None), ("large", large)):
-        cfg = FingerprintConfig(duration_ps=duration_ps,
-                                hierarchy=hierarchy)
-        fingerprinter = WebsiteFingerprinter(cfg)
-        catalog = WebsiteCatalog(n_sites, seed=1)
-        X, y, _ = fingerprinter.collect_dataset(catalog, traces_per_site)
-        Xtr, Xte, ytr, yte = train_test_split(X, y, test_size=0.3, seed=5)
-        model = DecisionTreeClassifier(seed=3).fit(Xtr, ytr)
-        accuracies[label] = accuracy_score(yte, model.predict(Xte))
-    fingerprint = FigureTable(
-        "Section 10.3: fingerprinting accuracy vs cache hierarchy",
-        ["hierarchy", "decision-tree accuracy"])
-    fingerprint.add_row("base", accuracies["base"])
-    fingerprint.add_row("large + prefetch", accuracies["large"])
-    fingerprint.add_note("paper: 71.8% (4.2% lower) with the larger "
-                         "hierarchy -- LLC filters browser accesses and "
-                         "the prefetcher adds noise")
-    return {"channels": channels, "fingerprint": fingerprint,
-            "accuracies": accuracies}
-
-
-# ----------------------------------------------------------------------
-# Section 11.4 -- countermeasure channel-capacity reduction
-# ----------------------------------------------------------------------
-def sec114_capacity_reduction(n_bits: int = 24,
-                              noise_intensity: float = 30.0) -> FigureTable:
-    """Channel capacity against PRAC vs the countermeasures.
-
-    RIAC's capacity reduction manifests through interaction with
-    ambient traffic (randomized counters make other processes trigger
-    unintentional back-offs), so the comparison runs under a moderate
-    noise level as well as noiseless."""
-    table = FigureTable(
-        "Section 11.4: LeakyHammer capacity under countermeasures",
-        ["defense", "noise", "error probability", "capacity (Kbps)",
-         "reduction vs insecure (%)"])
-
-    def prac_factory(kind, intensity):
-        return lambda: PracCovertChannel(PracChannelConfig(
-            defense_kind=kind, noise_intensity=intensity))
-
-    for intensity in (None, noise_intensity):
-        label = "none" if intensity is None else f"{intensity:.0f}%"
-        base = evaluate_patterns(prac_factory(DefenseKind.PRAC, intensity),
-                                 n_bits)
-        riac = evaluate_patterns(
-            prac_factory(DefenseKind.PRAC_RIAC, intensity), n_bits)
-        frrfm = evaluate_patterns(
-            lambda i=intensity: RfmCovertChannel(RfmChannelConfig(
-                defense_kind=DefenseKind.FRRFM, noise_intensity=i)),
-            n_bits)
-        base_cap = base["capacity_bps"]
-        for name, stats in (("PRAC (insecure)", base),
-                            ("PRAC-RIAC", riac), ("FR-RFM", frrfm)):
-            reduction = (100.0 * (1.0 - stats["capacity_bps"] / base_cap)
-                         if base_cap > 0 else 0.0)
-            table.add_row(name, label, stats["error_probability"],
-                          stats["capacity_bps"] / 1e3, reduction)
-    table.add_note("paper: FR-RFM eliminates the channel (100%); "
-                   "PRAC-RIAC reduces capacity by ~86% on average")
-    return table
-
-
-# ----------------------------------------------------------------------
-# Fig. 13 -- countermeasure performance
-# ----------------------------------------------------------------------
-FIG13_MECHANISMS = (
-    ("PRAC", DefenseKind.PRAC),
-    ("PRFM", DefenseKind.PRFM),
-    ("PRAC-RIAC", DefenseKind.PRAC_RIAC),
-    ("FR-RFM", DefenseKind.FRRFM),
-    ("PRAC-Bank", DefenseKind.PRAC_BANK),
+from repro.exp.drivers.leak import sec91_counter_leak, table3_leakage_model
+from repro.exp.drivers.perf import (
+    FIG13_MECHANISMS,
+    fig13_performance,
+    sec12_para_resistance,
+    sec114_capacity_reduction,
+)
+from repro.exp.drivers.prac import (
+    fig2_latency_observability,
+    fig3_prac_message,
+    fig4_prac_noise_sweep,
+    fig5_prac_app_noise,
+    fig11_rfms_per_backoff,
+    fig12_preventive_latency,
+    sec63_multibit,
+)
+from repro.exp.drivers.rfm import (
+    fig6_rfm_message,
+    fig7_rfm_noise_sweep,
+    fig8_rfm_app_noise,
 )
 
-
-def fig13_performance(nrh_values=(1024, 512, 256, 128, 64),
-                      n_mixes: int = 4, n_requests: int = 10_000,
-                      seed: int = 0) -> dict:
-    """Normalized weighted speedup of every mechanism at every N_RH."""
-    baseline_cfg = SystemConfig()
-    mixes = make_workload_mixes(n_mixes, seed=seed)
-    table = FigureTable(
-        "Fig. 13: normalized weighted speedup vs RowHammer threshold",
-        ["N_RH"] + [name for name, _ in FIG13_MECHANISMS])
-    per_mix: dict[str, dict] = {}
-
-    runs = []
-    for mix in mixes:
-        apps = apps_for_mix(mix, baseline_cfg.org, n_requests, seed=seed)
-        alone = {app.name: run_solo(baseline_cfg, app) for app in apps}
-        base = run_mix(baseline_cfg, apps)
-        per_mix[mix.name] = {"alone": alone, "baseline": base}
-        runs.append((mix, apps, alone, base))
-
-    for nrh in nrh_values:
-        row: list = [nrh]
-        for name, kind in FIG13_MECHANISMS:
-            ws_values = []
-            for mix, apps, alone, base in runs:
-                cfg = baseline_cfg.with_defense(
-                    DefenseParams.for_nrh(kind, nrh))
-                defended = run_mix(cfg, apps)
-                ws_values.append(
-                    normalized_weighted_speedup(alone, base, defended))
-            row.append(float(np.mean(ws_values)))
-        table.add_row(*row)
-    table.add_note("paper: FR-RFM ~7% overhead at N_RH=1024, 18.2x at "
-                   "N_RH=64; PRAC-RIAC 2.14x at 64; PRAC-Bank within "
-                   "2.5% of PRAC everywhere")
-    return {"table": table, "per_mix": per_mix}
-
-
-# ----------------------------------------------------------------------
-# Section 12 -- random trigger algorithms resist LeakyHammer
-# ----------------------------------------------------------------------
-def sec12_para_resistance(n_bits: int = 16,
-                          para_probability: float = 0.005) -> FigureTable:
-    """PARA's stateless random trigger (Section 12): an attacker cannot
-    reliably *trigger* preventive actions, so a windowed sender/receiver
-    pair extracts (almost) no information.
-
-    We transmit a checkered message with the PRAC sender/receiver
-    protocol against a PARA-protected system and decode windows by
-    preventive-action counts; the decode should be near chance."""
-    from repro.core.covert import WindowedReceiver, WindowedSender
-    from repro.core.prac_channel import (
-        ATTACK_BANK,
-        RECEIVER_ROW,
-        SENDER_ROW,
-    )
-    from repro.cpu.agent import run_agents
-    from repro.workloads.patterns import checkered_bits
-
-    bits = checkered_bits(n_bits, 0)
-    window = 25 * US
-    epoch = 2 * US
-    end = epoch + len(bits) * window
-
-    config = SystemConfig(defense=DefenseParams(
-        kind=DefenseKind.PARA, para_probability=para_probability))
-    system = MemorySystem(config)
-    classifier = LatencyClassifier(config)
-    bg, bank = ATTACK_BANK
-    sender_addr = system.mapper.encode(bankgroup=bg, bank=bank,
-                                       row=SENDER_ROW)
-    receiver_addr = system.mapper.encode(bankgroup=bg, bank=bank,
-                                         row=RECEIVER_ROW)
-    sender = WindowedSender(system, sender_addr, bits, epoch, window,
-                            {0: None, 1: 0}, classifier,
-                            stop_on_backoff=False)
-    receiver = WindowedReceiver(system, receiver_addr, len(bits), epoch,
-                                window, classifier)
-    run_agents(system, [sender, receiver], hard_limit=end + 200 * US)
-
-    # Best-effort decode: a PARA refresh (192 ns) appears as an
-    # off-level latency; count samples above the refresh midpoint.
-    threshold = (classifier.level_of(EventKind.CONFLICT)
-                 + config.defense.para_refresh_latency // 2)
-    per_window = [0] * len(bits)
-    for sample in receiver.samples:
-        mid = sample.end_time - sample.delta // 2
-        idx = (mid - epoch) // window
-        if 0 <= idx < len(bits) and sample.delta >= threshold:
-            per_window[idx] += 1
-    median = sorted(per_window)[len(per_window) // 2]
-    decoded = [1 if c > median else 0 for c in per_window]
-    errors = sum(1 for s, d in zip(bits, decoded) if s != d)
-    e = errors / len(bits)
-
-    table = FigureTable(
-        "Section 12: LeakyHammer against PARA (random trigger)",
-        ["metric", "value"])
-    table.add_row("PARA probability", para_probability)
-    table.add_row("preventive actions during run",
-                  system.stats.para_refreshes)
-    table.add_row("decode error probability", e)
-    table.add_row("capacity (Kbps)", channel_capacity_bps(40_000.0, e) / 1e3)
-    table.add_note("random triggers deny the attacker reliable "
-                   "triggering/observation; decode hovers near chance")
-    return table
-
-
-# ----------------------------------------------------------------------
-# Ablations for design choices called out in DESIGN.md
-# ----------------------------------------------------------------------
-def ablation_refresh_postponing(n_samples: int = 512) -> FigureTable:
-    """How the controller's refresh policy changes observability: the
-    postpone-pair policy doubles the refresh event latency, widening
-    the gap an attacker must discriminate."""
-    table = FigureTable(
-        "Ablation: refresh policy vs latency-level separation",
-        ["policy", "refresh event (ns)", "backoff event (ns)",
-         "separation (ns)"])
-    for policy in (RefreshPolicy.EVERY_TREFI, RefreshPolicy.POSTPONE_PAIR):
-        config = SystemConfig(
-            defense=DefenseParams(kind=DefenseKind.PRAC, nbo=128),
-            refresh_policy=policy)
-        classifier = LatencyClassifier(config)
-        refresh = classifier.level_of(EventKind.REFRESH) / NS
-        backoff = classifier.level_of(EventKind.BACKOFF) / NS
-        table.add_row(policy.value, refresh, backoff, backoff - refresh)
-    return table
-
-
-def ablation_trecv(trecv_values=(1, 2, 3, 4, 5),
-                   noise_intensity: float = 60.0,
-                   n_bits: int = 16) -> FigureTable:
-    """The RFM receiver's count threshold T_recv trades false positives
-    (too low: stray RFMs flip 0-bits) against false negatives (too
-    high: real 1-windows fall short)."""
-    table = FigureTable(
-        f"Ablation: RFM receiver threshold T_recv at "
-        f"{noise_intensity:.0f}% noise",
-        ["T_recv", "error probability", "capacity (Kbps)"])
-    for trecv in trecv_values:
-        stats = evaluate_patterns(
-            lambda t=trecv: RfmCovertChannel(RfmChannelConfig(
-                trecv=t, noise_intensity=noise_intensity)), n_bits)
-        table.add_row(trecv, stats["error_probability"],
-                      stats["capacity_bps"] / 1e3)
-    table.add_note("the paper picks T_recv = 3")
-    return table
-
-
-def ablation_window_size(windows_us=(15, 20, 25, 35, 50),
-                         n_bits: int = 16) -> FigureTable:
-    """Window duration trades raw bit rate against reliability: below
-    the time needed for ~2*N_BO activations plus the back-off latency,
-    1-bits stop fitting in their window."""
-    table = FigureTable(
-        "Ablation: PRAC channel window duration",
-        ["window (us)", "raw rate (Kbps)", "error probability",
-         "capacity (Kbps)"])
-    for window_us in windows_us:
-        stats = evaluate_patterns(
-            lambda w=window_us: PracCovertChannel(PracChannelConfig(
-                window_ps=w * US)), n_bits)
-        table.add_row(window_us, stats["raw_bit_rate_bps"] / 1e3,
-                      stats["error_probability"],
-                      stats["capacity_bps"] / 1e3)
-    table.add_note("the paper's 25 us window balances rate vs the "
-                   "~14 us ramp + 1.4 us back-off")
-    return table
+__all__ = [
+    "DEFAULT_INTENSITIES",
+    "FIG13_MECHANISMS",
+    "ablation_refresh_postponing",
+    "ablation_trecv",
+    "ablation_window_size",
+    "evaluate_patterns",
+    "fig2_latency_observability",
+    "fig3_prac_message",
+    "fig4_prac_noise_sweep",
+    "fig5_prac_app_noise",
+    "fig6_rfm_message",
+    "fig7_rfm_noise_sweep",
+    "fig8_rfm_app_noise",
+    "fig9_fingerprint_examples",
+    "fig10_table2_fingerprint",
+    "fig11_rfms_per_backoff",
+    "fig12_preventive_latency",
+    "fig13_performance",
+    "sec12_para_resistance",
+    "sec63_multibit",
+    "sec91_counter_leak",
+    "sec103_cache_hierarchy",
+    "sec114_capacity_reduction",
+    "table3_leakage_model",
+]

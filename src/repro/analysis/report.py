@@ -1,12 +1,18 @@
 """One-call reproduction report.
 
-Runs a quick (scaled-down) version of every headline experiment and
-assembles a markdown report — the "did the reproduction work on my
-machine" entry point for artifact users:
+Iterates the experiment registry (:mod:`repro.exp.registry`), runs the
+quick (scaled-down) configuration of every experiment that declares
+one, applies its pass/fail check, and assembles a markdown report —
+the "did the reproduction work on my machine" entry point for artifact
+users:
 
 >>> from repro.analysis.report import quick_report
->>> text = quick_report()          # a few minutes
+>>> text = quick_report()          # a few minutes (cached: seconds)
 >>> print(text)                    # doctest: +SKIP
+
+Results go through the on-disk result cache by default, so re-running
+an unchanged report is near-instant; pass ``use_cache=False`` (or
+``python -m repro report --no-cache``) to force fresh runs.
 """
 
 from __future__ import annotations
@@ -14,7 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis import experiments as E
+from repro.exp.registry import all_experiments
+from repro.exp.runner import run_experiment
 
 
 @dataclass
@@ -55,41 +62,21 @@ class ReproductionReport:
         return path
 
 
-def quick_report() -> ReproductionReport:
-    """Scaled-down versions of the headline experiments (~1 minute)."""
+def quick_report(*, workers: int | None = None, use_cache: bool = True,
+                 cache_dir: str | None = None) -> ReproductionReport:
+    """Quick configurations of every registered experiment that has one.
+
+    An experiment joins this report by declaring ``quick`` (scaled-down
+    keyword overrides) and ``check`` (result -> pass/fail + rendering)
+    in its ``@experiment`` registration — there is no hand-maintained
+    list here.
+    """
     report = ReproductionReport()
-
-    out = E.fig2_latency_observability(n_samples=300, nbo=64)
-    table = out["table"]
-    means = dict(zip(table.column("event"),
-                     table.column("mean latency (ns)")))
-    report.add("Fig. 2 — back-offs observable from userspace",
-               table.to_text(),
-               means.get("backoff", 0) > means.get("refresh", 1e18))
-
-    msg = E.fig3_prac_message(text="MI", pattern_bits=8)
-    report.add("Fig. 3 — PRAC covert channel decodes",
-               msg["table"].to_text(),
-               msg["result"].sent == msg["result"].decoded)
-
-    msg6 = E.fig6_rfm_message(text="MI", pattern_bits=8)
-    report.add("Fig. 6 — RFM covert channel decodes",
-               msg6["table"].to_text(),
-               msg6["result"].sent == msg6["result"].decoded)
-
-    leak = E.sec91_counter_leak(secrets=[20, 90])
-    report.add("Sec. 9.1 — counter-value leak",
-               leak["table"].to_text(),
-               leak["outcome"]["accuracy_within_1"] == 1.0)
-
-    cm = E.sec114_capacity_reduction(n_bits=8, noise_intensity=30.0)
-    frrfm_rows = [r for r in cm.rows if r[0] == "FR-RFM"]
-    report.add("Sec. 11.4 — FR-RFM eliminates the channel",
-               cm.to_text(),
-               all(r[4] >= 99.0 for r in frrfm_rows))
-
-    matrix = E.table3_leakage_model()
-    report.add("Table 3 — leakage matrix demonstrated",
-               matrix.to_text(),
-               all(v == "yes" for v in matrix.column("demonstrated")))
+    for spec in all_experiments():
+        if spec.quick is None or spec.check is None:
+            continue
+        run = run_experiment(spec.name, dict(spec.quick), workers=workers,
+                             use_cache=use_cache, cache_dir=cache_dir)
+        passed, body = spec.check(run.value)
+        report.add(f"{spec.figure} — {spec.claim}", body, passed)
     return report

@@ -1,0 +1,56 @@
+"""Experiment orchestration: registry, parallel runner, result cache.
+
+The public surface of the subsystem:
+
+>>> from repro.exp import run_experiment, all_experiments
+>>> [s.name for s in all_experiments()][:3]
+['fig2', 'fig3', 'fig4']
+>>> run = run_experiment("fig4", {"intensities": (1,), "n_bits": 4},
+...                      use_cache=False)
+>>> run.cached, run.trials
+(False, 1)
+"""
+
+from repro.exp.cache import (
+    DEFAULT_CACHE_DIR,
+    ResultCache,
+    code_fingerprint,
+    stable_key,
+)
+from repro.exp.registry import (
+    ExperimentSpec,
+    RegistryError,
+    all_experiments,
+    experiment,
+    experiment_names,
+    get_experiment,
+)
+from repro.exp.runner import (
+    ExperimentParamError,
+    ExperimentRun,
+    derive_seed,
+    experiment_key,
+    map_trials,
+    run_experiment,
+    trials_executed,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ExperimentParamError",
+    "ExperimentRun",
+    "ExperimentSpec",
+    "RegistryError",
+    "ResultCache",
+    "all_experiments",
+    "code_fingerprint",
+    "derive_seed",
+    "experiment",
+    "experiment_key",
+    "experiment_names",
+    "get_experiment",
+    "map_trials",
+    "run_experiment",
+    "stable_key",
+    "trials_executed",
+]

@@ -1,0 +1,150 @@
+"""Content-addressed on-disk result cache for experiment runs.
+
+A cache entry is keyed by a stable SHA-256 over the experiment name,
+its (canonicalized) parameters, and a fingerprint of the ``repro``
+source tree — so editing any simulator/driver code automatically
+invalidates stale results, while re-running an unchanged report is
+near-instant.
+
+Values are stored with :mod:`pickle` under
+``<cache-dir>/<key[:2]>/<key>.pkl``.  The default directory is
+``.repro-cache/`` in the current working directory, overridable with
+the ``REPRO_CACHE_DIR`` environment variable or an explicit path.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+#: Default cache directory (relative to the working directory).
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+# ----------------------------------------------------------------------
+# Stable hashing
+# ----------------------------------------------------------------------
+def canonicalize(obj):
+    """Reduce ``obj`` to JSON-encodable primitives, deterministically.
+
+    Handles the values experiment parameters are made of: primitives,
+    (nested) lists/tuples/sets, dicts, enums, dataclasses, and any
+    object exposing ``to_dict()`` (e.g. :class:`~repro.sim.config.
+    SystemConfig`).  Tuples and lists canonicalize identically.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, enum.Enum):
+        return canonicalize(obj.value)
+    if hasattr(obj, "to_dict"):
+        return canonicalize(obj.to_dict())
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return canonicalize(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): canonicalize(v) for k, v in sorted(
+            obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return sorted(canonicalize(v) for v in obj)
+    if isinstance(obj, bytes):
+        return obj.hex()
+    # Callables / exotic objects: fall back to their qualified name so
+    # keys stay deterministic (no memory addresses).
+    name = getattr(obj, "__qualname__", None)
+    if name is not None:
+        return f"{getattr(obj, '__module__', '?')}.{name}"
+    return repr(type(obj))
+
+
+def stable_key(payload) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``payload``."""
+    canonical = json.dumps(canonicalize(payload), sort_keys=True,
+                           separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+_code_fingerprint: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hash of every ``*.py`` file in the installed ``repro`` package.
+
+    Computed once per process; cache keys embed it so results are
+    invalidated whenever the simulator or a driver changes.
+    """
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        import repro
+
+        root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _code_fingerprint = digest.hexdigest()
+    return _code_fingerprint
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Pickle-backed content-addressed store of experiment results."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        if directory is None:
+            directory = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.directory = Path(directory)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> tuple[bool, object]:
+        """Return ``(hit, value)``; a corrupt entry counts as a miss."""
+        path = self._path(key)
+        if not path.is_file():
+            return False, None
+        try:
+            return True, pickle.loads(path.read_bytes())
+        except Exception:  # corrupt/truncated entry: treat as miss
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return False, None
+
+    def put(self, key: str, value: object) -> Path:
+        """Store ``value`` under ``key`` (atomic rename within the dir)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+        tmp.replace(path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*/*.pkl"):
+                path.unlink()
+                removed += 1
+        return removed

@@ -1,0 +1,16 @@
+"""Per-topic experiment driver modules.
+
+Importing this package registers every driver with
+:mod:`repro.exp.registry` (each module's ``@experiment`` decorators run
+at import time).  Registration order defines the catalog order shown by
+``python -m repro list``.
+"""
+
+from repro.exp.drivers import (  # noqa: F401  (registration side effects)
+    prac,
+    rfm,
+    fingerprint,
+    leak,
+    perf,
+    ablations,
+)

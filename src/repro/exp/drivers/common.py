@@ -1,0 +1,30 @@
+"""Helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+from repro.core.capacity import channel_capacity_bps
+from repro.workloads.patterns import standard_patterns
+
+#: Noise intensities swept by Figs. 4/7/11 (paper sweeps 1..100%).
+DEFAULT_INTENSITIES = (1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+
+
+def evaluate_patterns(channel_factory, n_bits: int) -> dict:
+    """Transmit the paper's four message patterns; pool the bit errors
+    (Section 5.2's metric) and compute the channel capacity."""
+    sent_all: list[int] = []
+    decoded_all: list[int] = []
+    raw_rate = None
+    for bits in standard_patterns(n_bits).values():
+        result = channel_factory().transmit(bits)
+        sent_all.extend(result.sent)
+        decoded_all.extend(result.decoded)
+        raw_rate = result.raw_bit_rate_bps
+    errors = sum(1 for s, d in zip(sent_all, decoded_all) if s != d)
+    e = errors / len(sent_all)
+    return {
+        "raw_bit_rate_bps": raw_rate,
+        "error_probability": e,
+        "capacity_bps": channel_capacity_bps(raw_rate, e),
+        "bits": len(sent_all),
+    }

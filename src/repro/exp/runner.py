@@ -1,0 +1,207 @@
+"""Trial/sweep executor: process-pool fan-out plus cached runs.
+
+Two layers:
+
+``map_trials``
+    Runs one picklable trial function over a list of parameter points,
+    optionally fanning out over a ``ProcessPoolExecutor``.  Results come
+    back in point order, so a parallel sweep is bit-identical to the
+    serial one — every trial builds its own simulator from its own
+    (deterministic) seed, and nothing about worker placement can leak
+    into the physics.
+
+``run_experiment``
+    Resolves a registered experiment, consults the on-disk result cache
+    (key = experiment name + params + source-tree fingerprint), and
+    executes the driver on a miss.  Returns an :class:`ExperimentRun`
+    carrying the value plus provenance (cache hit?, trials executed,
+    wall time).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import time
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass, field
+from itertools import repeat
+from typing import Callable, Iterable, Sequence
+
+from repro.exp.cache import ResultCache, code_fingerprint, stable_key
+from repro.exp.registry import ExperimentSpec, get_experiment
+
+#: Process-local count of trial executions (parallel trials are counted
+#: in the parent as their results arrive).  Tests use the delta around a
+#: run to verify cache hits skip work entirely.
+_trials_executed = 0
+
+
+def trials_executed() -> int:
+    """Total trials executed by this process since import."""
+    return _trials_executed
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """Deterministic, well-mixed per-trial seed.
+
+    Stable across processes and Python versions (pure SHA-256, no
+    ``hash()``), so a sweep distributed over N workers draws exactly
+    the seeds the serial sweep would.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def _run_point(fn: Callable, point, seed):
+    """Top-level trampoline so trial calls pickle cleanly."""
+    if seed is None:
+        return fn(point)
+    return fn(point, seed)
+
+
+def _warn_serial_fallback(exc: BaseException, n_points: int) -> None:
+    warnings.warn(
+        f"process pool unavailable ({exc}); running {n_points} trials "
+        "serially", RuntimeWarning, stacklevel=3)
+
+
+def map_trials(fn: Callable, points: Iterable, *,
+               workers: int | None = None,
+               seed: int | None = None) -> list:
+    """Run ``fn`` over every point; returns results in point order.
+
+    ``fn`` must be a module-level callable taking one point (plus a
+    derived per-trial seed as a second argument when ``seed`` is set).
+    With ``workers`` > 1 the points fan out over a process pool; the
+    result is identical to the serial path because each trial is an
+    isolated, deterministic simulation.  Environments that cannot fork
+    fall back to serial execution with a warning.
+    """
+    global _trials_executed
+    points = list(points)
+    seeds: Sequence = (
+        [None] * len(points) if seed is None
+        else [derive_seed(seed, i) for i in range(len(points))])
+
+    if workers is not None and workers > 1 and len(points) > 1:
+        # Fall back to serial only on pool-machinery failure: OSError
+        # from pool construction, or BrokenExecutor when workers could
+        # not spawn / died.  An exception raised by a trial itself
+        # propagates unchanged out of pool.map and is never retried.
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(points)))
+        except OSError as exc:
+            _warn_serial_fallback(exc, len(points))
+        else:
+            try:
+                with pool:
+                    results = list(pool.map(_run_point, repeat(fn),
+                                            points, seeds))
+            except BrokenExecutor as exc:
+                _warn_serial_fallback(exc, len(points))
+            else:
+                _trials_executed += len(points)
+                return results
+
+    results = []
+    for point, trial_seed in zip(points, seeds):
+        results.append(_run_point(fn, point, trial_seed))
+        _trials_executed += 1
+    return results
+
+
+# ----------------------------------------------------------------------
+# Cached experiment execution
+# ----------------------------------------------------------------------
+@dataclass
+class ExperimentRun:
+    """Outcome + provenance of one ``run_experiment`` call."""
+
+    name: str
+    value: object
+    cached: bool
+    trials: int
+    elapsed_s: float
+    key: str
+    params: dict = field(default_factory=dict)
+
+
+class ExperimentParamError(TypeError):
+    """Parameters do not match the experiment driver's signature."""
+
+
+def experiment_key(spec: ExperimentSpec, params: dict) -> str:
+    """Content-address of one experiment run.
+
+    Covers the experiment name, its *resolved* parameters (explicit
+    overrides merged with the driver's defaults, so spelling out a
+    default yields the same key as omitting it), and the source-tree
+    fingerprint.  Execution knobs that cannot change the result
+    (``workers``) are deliberately excluded.
+    """
+    try:
+        bound = inspect.signature(spec.fn).bind_partial(**params)
+    except TypeError as exc:
+        raise ExperimentParamError(
+            f"experiment {spec.name!r}: {exc}") from None
+    bound.apply_defaults()
+    resolved = dict(bound.arguments)
+    resolved.pop("workers", None)
+    return stable_key({
+        "experiment": spec.name,
+        "params": resolved,
+        "code": code_fingerprint(),
+    })
+
+
+def run_experiment(name: str, params: dict | None = None, *,
+                   workers: int | None = None,
+                   seed: int | None = None,
+                   use_cache: bool = True,
+                   cache: ResultCache | None = None,
+                   cache_dir: str | None = None) -> ExperimentRun:
+    """Execute a registered experiment, going through the result cache.
+
+    ``params`` are keyword overrides for the driver.  ``workers`` and
+    ``seed`` are forwarded only when the driver accepts them (``seed``
+    becomes part of the cache key; ``workers`` never does).
+    """
+    spec = get_experiment(name)
+    params = dict(params or {})
+    signature = inspect.signature(spec.fn)
+    unknown = [k for k in params if k not in signature.parameters]
+    if unknown:
+        raise ExperimentParamError(
+            f"experiment {spec.name!r} does not accept parameter(s) "
+            f"{unknown}; accepts {sorted(signature.parameters)}")
+    if seed is not None:
+        if "seed" in signature.parameters:
+            params["seed"] = seed
+        else:
+            warnings.warn(
+                f"experiment {spec.name!r} takes no seed; --seed ignored",
+                RuntimeWarning, stacklevel=2)
+
+    key = experiment_key(spec, params)
+    if use_cache and cache is None:
+        cache = ResultCache(cache_dir)
+    if use_cache:
+        hit, value = cache.get(key)
+        if hit:
+            return ExperimentRun(spec.name, value, cached=True, trials=0,
+                                 elapsed_s=0.0, key=key, params=params)
+
+    call_params = dict(params)
+    if workers is not None and "workers" in signature.parameters:
+        call_params["workers"] = workers
+    before = trials_executed()
+    start = time.perf_counter()
+    value = spec.fn(**call_params)
+    elapsed = time.perf_counter() - start
+    trials = trials_executed() - before
+    if use_cache:
+        cache.put(key, value)
+    return ExperimentRun(spec.name, value, cached=False, trials=trials,
+                         elapsed_s=elapsed, key=key, params=params)

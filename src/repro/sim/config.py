@@ -11,7 +11,9 @@ refresh interval and a 32 ms refresh window.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
 
 from repro.sim.engine import MS, NS
 
@@ -38,6 +40,33 @@ class DefenseKind(enum.Enum):
     PRAC_RIAC = "prac-riac"
     PRAC_BANK = "prac-bank"
     PARA = "para"
+
+
+def _dataclass_to_dict(obj) -> dict:
+    """Serialize a config dataclass field-by-field (enums -> values,
+    nested configs via their own ``to_dict``).  Driven by
+    ``dataclasses.fields`` so newly added fields can never silently
+    drop out of serialization or ``cache_key``."""
+    data = {}
+    for f in fields(obj):
+        value = getattr(obj, f.name)
+        if hasattr(value, "to_dict"):
+            value = value.to_dict()
+        elif isinstance(value, enum.Enum):
+            value = value.value
+        data[f.name] = value
+    return data
+
+
+def _from_flat_dict(cls, data: dict):
+    """Rebuild a flat (non-nested) dataclass from ``to_dict`` output,
+    rejecting unknown keys so schema drift fails loudly."""
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} fields: {sorted(unknown)}")
+    return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -75,6 +104,13 @@ class DramTiming:
         if self.tREFW < self.tREFI:
             raise ValueError("tREFW must be >= tREFI")
 
+    def to_dict(self) -> dict:
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DramTiming":
+        return _from_flat_dict(cls, data)
+
 
 @dataclass(frozen=True)
 class DramOrg:
@@ -100,6 +136,13 @@ class DramOrg:
                      "rows_per_bank", "cols_per_row", "line_bytes"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+
+    def to_dict(self) -> dict:
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DramOrg":
+        return _from_flat_dict(cls, data)
 
 
 def nbo_for_nrh(nrh: int, fraction: float = 0.25) -> int:
@@ -166,6 +209,15 @@ class DefenseParams:
         )
         return replace(params, **overrides) if overrides else params
 
+    def to_dict(self) -> dict:
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DefenseParams":
+        data = dict(data)
+        data["kind"] = DefenseKind(data["kind"])
+        return _from_flat_dict(cls, data)
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -204,3 +256,31 @@ class SystemConfig:
     def with_(self, **overrides) -> "SystemConfig":
         """Return a copy with arbitrary field overrides."""
         return replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+    # Serialization (worker hand-off, result caching)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable dict of every configuration field."""
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemConfig":
+        """Inverse of :meth:`to_dict` (round-trips to an equal config)."""
+        data = dict(data)
+        data["timing"] = DramTiming.from_dict(data["timing"])
+        data["org"] = DramOrg.from_dict(data["org"])
+        data["defense"] = DefenseParams.from_dict(data["defense"])
+        data["refresh_policy"] = RefreshPolicy(data["refresh_policy"])
+        return _from_flat_dict(cls, data)
+
+    def cache_key(self) -> str:
+        """Stable content hash of this configuration.
+
+        Equal configs hash identically across processes and interpreter
+        runs; any field change produces a different key.  Used by the
+        experiment result cache (:mod:`repro.exp.cache`).
+        """
+        payload = json.dumps(self.to_dict(), sort_keys=True,
+                             separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -68,7 +68,16 @@ class Simulator:
 
         Events with timestamp exactly equal to ``until`` *are* executed.
         Returns the number of callbacks executed by this call.
+
+        ``until`` may not lie in the past: simulated time never moves
+        backwards, so ``run(until=T)`` with ``T < now`` raises
+        :class:`SimulationError` (mirroring :meth:`schedule_at`).
         """
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run until {until} ps; simulated time is already "
+                f"{self.now} ps (time never moves backwards)"
+            )
         executed = 0
         heap = self._heap
         while heap:

@@ -111,3 +111,85 @@ class TestSystemConfig:
     def test_refresh_policy_enum_values(self):
         assert RefreshPolicy("postpone-pair") is RefreshPolicy.POSTPONE_PAIR
         assert DefenseKind("fr-rfm") is DefenseKind.FRRFM
+
+
+def _nondefault_config() -> SystemConfig:
+    return SystemConfig(
+        timing=DramTiming(tRCD=17_000, tRFC=300_000),
+        org=DramOrg(ranks=2, bankgroups=4),
+        defense=DefenseParams.for_nrh(DefenseKind.PRAC_RIAC, 512,
+                                      backoff_latency_override=5_000),
+        refresh_policy=RefreshPolicy.EVERY_TREFI,
+        column_cap=8, queue_size=32, frontend_latency=20_000,
+        loop_overhead=11_000, seed=42)
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("config", [
+        SystemConfig(), _nondefault_config(),
+    ], ids=["default", "nondefault"])
+    def test_to_dict_round_trips(self, config):
+        assert SystemConfig.from_dict(config.to_dict()) == config
+
+    def test_to_dict_is_json_serializable(self):
+        import json
+
+        text = json.dumps(_nondefault_config().to_dict())
+        assert SystemConfig.from_dict(json.loads(text)) == _nondefault_config()
+
+    def test_enums_serialize_as_values(self):
+        data = _nondefault_config().to_dict()
+        assert data["refresh_policy"] == "every-trefi"
+        assert data["defense"]["kind"] == "prac-riac"
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = SystemConfig().to_dict()
+        data["bogus"] = 1
+        with pytest.raises(ValueError):
+            SystemConfig.from_dict(data)
+
+    def test_nested_from_dict(self):
+        timing = DramTiming(tRP=17_000)
+        assert DramTiming.from_dict(timing.to_dict()) == timing
+        org = DramOrg(ranks=2)
+        assert DramOrg.from_dict(org.to_dict()) == org
+        defense = DefenseParams(kind=DefenseKind.PARA)
+        assert DefenseParams.from_dict(defense.to_dict()) == defense
+
+
+class TestCacheKey:
+    def test_key_is_hex_sha256(self):
+        key = SystemConfig().cache_key()
+        assert len(key) == 64
+        int(key, 16)  # raises on non-hex
+
+    def test_equal_configs_share_a_key(self):
+        assert SystemConfig().cache_key() == SystemConfig().cache_key()
+        assert (_nondefault_config().cache_key()
+                == _nondefault_config().cache_key())
+
+    def test_any_field_change_changes_the_key(self):
+        base = SystemConfig()
+        variants = [
+            base.with_(column_cap=base.column_cap + 1),
+            base.with_(queue_size=base.queue_size + 1),
+            base.with_(frontend_latency=base.frontend_latency + 1),
+            base.with_(loop_overhead=base.loop_overhead + 1),
+            base.with_(seed=base.seed + 1),
+            base.with_(refresh_policy=RefreshPolicy.EVERY_TREFI),
+            base.with_(timing=DramTiming(tRCD=base.timing.tRCD + 1)),
+            base.with_(org=DramOrg(ranks=base.org.ranks + 1)),
+            base.with_defense(DefenseParams(kind=DefenseKind.PRAC)),
+            base.with_defense(DefenseParams(nbo=base.defense.nbo + 1)),
+        ]
+        keys = {cfg.cache_key() for cfg in variants}
+        assert base.cache_key() not in keys
+        assert len(keys) == len(variants)  # all distinct from each other
+
+    def test_key_survives_pickling_across_instances(self):
+        import pickle
+
+        config = _nondefault_config()
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.cache_key() == config.cache_key()

@@ -112,6 +112,31 @@ class TestRunLimits:
         sim.run(until=123)
         assert sim.now == 123
 
+    def test_run_until_in_the_past_raises(self):
+        """Regression: run(until=T) with T < now used to silently move
+        simulated time backwards."""
+        sim = Simulator()
+        sim.run(until=100)
+        with pytest.raises(SimulationError):
+            sim.run(until=50)
+        assert sim.now == 100
+
+    def test_run_until_in_the_past_with_pending_events_raises(self):
+        sim = Simulator()
+        sim.schedule_at(100, lambda: None)
+        sim.run(until=100)
+        sim.schedule_at(200, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.run(until=99)
+        assert sim.now == 100
+        assert sim.pending_events == 1  # future event untouched
+
+    def test_run_until_now_is_a_noop(self):
+        sim = Simulator()
+        sim.run(until=100)
+        assert sim.run(until=100) == 0
+        assert sim.now == 100
+
     def test_max_events_limit(self):
         sim = Simulator()
         for t in range(10):

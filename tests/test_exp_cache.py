@@ -1,0 +1,99 @@
+"""Tests for the content-addressed result cache."""
+
+import os
+
+import pytest
+
+from repro.analysis.figures import FigureTable
+from repro.exp.cache import (
+    CACHE_DIR_ENV,
+    ResultCache,
+    canonicalize,
+    code_fingerprint,
+    stable_key,
+)
+from repro.sim.config import DefenseKind, SystemConfig
+
+
+class TestStableKey:
+    def test_deterministic(self):
+        payload = {"experiment": "fig4", "params": {"n_bits": 4}}
+        assert stable_key(payload) == stable_key(payload)
+
+    def test_dict_order_irrelevant(self):
+        assert (stable_key({"a": 1, "b": 2})
+                == stable_key({"b": 2, "a": 1}))
+
+    def test_tuple_and_list_canonicalize_identically(self):
+        assert stable_key({"xs": (1, 2)}) == stable_key({"xs": [1, 2]})
+
+    def test_value_changes_change_the_key(self):
+        assert stable_key({"a": 1}) != stable_key({"a": 2})
+        assert stable_key({"a": 1}) != stable_key({"b": 1})
+
+    def test_canonicalize_handles_enums_and_configs(self):
+        assert canonicalize(DefenseKind.PRAC) == "prac"
+        assert canonicalize(SystemConfig()) == canonicalize(
+            SystemConfig().to_dict())
+        assert canonicalize({1: "x"}) == {"1": "x"}
+        assert canonicalize({3, 1, 2}) == [1, 2, 3]
+
+    def test_code_fingerprint_is_stable_hex(self):
+        fp = code_fingerprint()
+        assert fp == code_fingerprint()
+        assert len(fp) == 64
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_key({"k": 1})
+        assert cache.get(key) == (False, None)
+        cache.put(key, {"answer": 42})
+        hit, value = cache.get(key)
+        assert hit and value == {"answer": 42}
+        assert key in cache
+
+    def test_round_trips_figure_tables(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        table = FigureTable("t", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_note("n")
+        cache.put("0" * 64, table)
+        _, loaded = cache.get("0" * 64)
+        assert loaded.rows == table.rows
+        assert loaded.notes == table.notes
+        assert loaded.to_text() == table.to_text()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_key({"k": 2})
+        path = cache.put(key, [1, 2, 3])
+        path.write_bytes(b"not a pickle")
+        assert cache.get(key) == (False, None)
+        assert key not in cache  # corrupt file was removed
+
+    def test_len_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert len(cache) == 0
+        for i in range(3):
+            cache.put(stable_key({"i": i}), i)
+        assert len(cache) == 3
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_env_var_overrides_default_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
+        cache = ResultCache()
+        assert cache.directory == tmp_path / "envcache"
+
+    def test_explicit_dir_beats_env_var(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "envcache"))
+        cache = ResultCache(tmp_path / "explicit")
+        assert cache.directory == tmp_path / "explicit"
+
+    def test_entries_are_sharded_by_key_prefix(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = stable_key({"k": 3})
+        path = cache.put(key, None)
+        assert path.parent.name == key[:2]

@@ -1,0 +1,157 @@
+"""Tests for the trial runner: parallel fan-out, seeds, cached runs."""
+
+import pytest
+
+from repro.exp.cache import ResultCache
+from repro.exp.runner import (
+    derive_seed,
+    experiment_key,
+    map_trials,
+    run_experiment,
+    trials_executed,
+)
+from repro.exp.registry import get_experiment
+
+
+def _square(point):
+    return point * point
+
+
+def _seeded(point, seed):
+    return (point, seed)
+
+
+class TestMapTrials:
+    def test_serial_results_in_point_order(self):
+        assert map_trials(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_parallel_matches_serial(self):
+        points = list(range(8))
+        assert (map_trials(_square, points, workers=4)
+                == map_trials(_square, points))
+
+    def test_trial_counter_advances(self):
+        before = trials_executed()
+        map_trials(_square, [1, 2, 3])
+        assert trials_executed() - before == 3
+
+    def test_trial_counter_counts_parallel_trials(self):
+        before = trials_executed()
+        map_trials(_square, [1, 2, 3, 4], workers=2)
+        assert trials_executed() - before == 4
+
+    def test_empty_points(self):
+        assert map_trials(_square, []) == []
+
+    def test_single_point_stays_serial_under_workers(self):
+        assert map_trials(_square, [5], workers=8) == [25]
+
+
+class TestSeeds:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(7, 0) == derive_seed(7, 0)
+
+    def test_derive_seed_varies_with_index_and_base(self):
+        seeds = {derive_seed(7, i) for i in range(100)}
+        assert len(seeds) == 100
+        assert derive_seed(7, 0) != derive_seed(8, 0)
+
+    def test_seeded_trials_serial(self):
+        results = map_trials(_seeded, ["a", "b"], seed=7)
+        assert results == [("a", derive_seed(7, 0)),
+                           ("b", derive_seed(7, 1))]
+
+    def test_seeded_trials_parallel_match_serial(self):
+        serial = map_trials(_seeded, list("abcd"), seed=3)
+        parallel = map_trials(_seeded, list("abcd"), seed=3, workers=2)
+        assert serial == parallel
+
+
+class TestParallelSweepsBitIdentical:
+    """Acceptance: `run fig4 --workers N` must equal the serial path."""
+
+    def test_fig4_parallel_rows_equal_serial(self):
+        fig4 = get_experiment("fig4").fn
+        serial = fig4(intensities=(1, 50), n_bits=4)
+        parallel = fig4(intensities=(1, 50), n_bits=4, workers=4)
+        assert serial.rows == parallel.rows
+
+    def test_fig13_parallel_equals_serial(self):
+        fig13 = get_experiment("fig13").fn
+        serial = fig13(nrh_values=(1024,), n_mixes=1, n_requests=400)
+        parallel = fig13(nrh_values=(1024,), n_mixes=1, n_requests=400,
+                         workers=2)
+        assert serial["table"].rows == parallel["table"].rows
+        assert serial["per_mix"] == parallel["per_mix"]
+
+
+class TestRunExperiment:
+    PARAMS = {"intensities": (1,), "n_bits": 4}
+
+    def test_first_run_executes_then_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_experiment("fig4", dict(self.PARAMS), cache=cache)
+        assert not first.cached
+        assert first.trials == 1  # one intensity = one trial executed
+
+        second = run_experiment("fig4", dict(self.PARAMS), cache=cache)
+        assert second.cached
+        assert second.trials == 0  # no work: served from cache
+        assert second.value.rows == first.value.rows
+        assert second.key == first.key
+
+    def test_param_change_misses_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiment("fig4", dict(self.PARAMS), cache=cache)
+        other = run_experiment("fig4", {"intensities": (1,), "n_bits": 5},
+                               cache=cache)
+        assert not other.cached
+
+    def test_workers_do_not_change_the_key(self):
+        spec = get_experiment("fig4")
+        assert (experiment_key(spec, dict(self.PARAMS))
+                == experiment_key(spec, dict(self.PARAMS)))
+
+    def test_spelled_out_default_shares_the_key(self):
+        """The key is over *resolved* params: passing a driver default
+        explicitly must hit the cache entry of the bare run."""
+        spec = get_experiment("fig4")
+        assert (experiment_key(spec, {})
+                == experiment_key(spec, {"n_bits": 24}))
+        assert (experiment_key(spec, {})
+                != experiment_key(spec, {"n_bits": 23}))
+
+    def test_parallel_run_hits_serial_runs_cache(self, tmp_path):
+        """The cache is execution-agnostic: a --workers run reuses the
+        result a serial run stored (and vice versa)."""
+        cache = ResultCache(tmp_path)
+        serial = run_experiment("fig4", dict(self.PARAMS), cache=cache)
+        parallel = run_experiment("fig4", dict(self.PARAMS), cache=cache,
+                                  workers=4)
+        assert parallel.cached
+        assert parallel.value.rows == serial.value.rows
+
+    def test_no_cache_always_executes(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_experiment("fig4", dict(self.PARAMS), cache=cache)
+        fresh = run_experiment("fig4", dict(self.PARAMS), use_cache=False)
+        assert not fresh.cached
+        assert fresh.trials == 1
+
+    def test_unknown_param_rejected(self):
+        from repro.exp.runner import ExperimentParamError
+
+        with pytest.raises(ExperimentParamError, match="does not accept"):
+            run_experiment("fig4", {"bogus": 1}, use_cache=False)
+
+    def test_seed_forwarded_when_accepted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run = run_experiment(
+            "fig13", {"nrh_values": (1024,), "n_mixes": 1,
+                      "n_requests": 400},
+            seed=5, cache=cache)
+        assert run.params["seed"] == 5
+
+    def test_seed_warns_when_not_accepted(self):
+        with pytest.warns(RuntimeWarning, match="takes no seed"):
+            run_experiment("ablation-refresh", seed=5, use_cache=False)
