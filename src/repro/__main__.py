@@ -18,7 +18,10 @@ behaves like ``report``.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import gc
 import json
+import os
 import sys
 
 from repro.analysis.figures import FigureTable
@@ -59,6 +62,27 @@ def _scale_text(scale: dict) -> str:
     return ", ".join(f"{k}={v}" for k, v in scale.items()) or "-"
 
 
+@contextlib.contextmanager
+def _gc_paused():
+    """Run simulations with the cyclic GC paused.
+
+    The event engine allocates hundreds of thousands of short-lived
+    tuples per simulated trial; generation-0 collections cost several
+    percent of wall time and never find garbage mid-trial (the object
+    graphs live until the trial ends).  Reference counting still frees
+    everything acyclic immediately; one collection at the end picks up
+    the per-trial cycles (agents <-> system <-> simulator).
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()
+
+
 # ----------------------------------------------------------------------
 # Subcommands
 # ----------------------------------------------------------------------
@@ -86,9 +110,11 @@ def cmd_list(args) -> int:
 def cmd_run(args) -> int:
     params = dict(args.param or [])
     try:
-        run = run_experiment(
-            args.experiment, params, workers=args.workers, seed=args.seed,
-            use_cache=not args.no_cache, cache_dir=args.cache_dir)
+        with _gc_paused():
+            run = run_experiment(
+                args.experiment, params, workers=args.workers,
+                seed=args.seed, use_cache=not args.no_cache,
+                cache_dir=args.cache_dir)
     except (RegistryError, ExperimentParamError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -110,10 +136,33 @@ def cmd_run(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    # No _gc_paused here: the bench harness pauses the GC itself so
+    # every entry point measures under identical conditions.
+    from repro.perf.cli import run_from_args
+
+    return run_from_args(args)
+
+
+def _auto_workers(requested: int | None) -> int | None:
+    """Default the report to a parallel sweep on multi-core machines.
+
+    ``map_trials`` is bit-identical serial vs parallel (deterministic
+    per-trial seeds), so parallelism is purely a wall-clock knob; on a
+    single-core machine this resolves to the serial path.  An explicit
+    ``--workers N`` always wins (``--workers 1`` forces serial).
+    """
+    if requested is not None:
+        return requested if requested > 1 else None
+    count = os.cpu_count() or 1
+    return min(count, 8) if count > 1 else None
+
+
 def cmd_report(args) -> int:
-    report = quick_report(workers=args.workers,
-                          use_cache=not args.no_cache,
-                          cache_dir=args.cache_dir)
+    with _gc_paused():
+        report = quick_report(workers=_auto_workers(args.workers),
+                              use_cache=not args.no_cache,
+                              cache_dir=args.cache_dir)
     print(report.to_markdown())
     if args.save:
         path = report.save(args.save)
@@ -127,7 +176,9 @@ def cmd_report(args) -> int:
 def _add_execution_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="fan independent trials out over N worker "
-                             "processes (default: serial)")
+                             "processes (report defaults to the CPU "
+                             "count, capped at 8; run defaults to "
+                             "serial; 1 forces serial)")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the on-disk result cache")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -170,6 +221,13 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="run the quick reproduction report")
     _add_execution_options(p_report)
     p_report.set_defaults(func=cmd_report)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the simulator performance micro-suite and "
+                      "write BENCH_<timestamp>.json")
+    from repro.perf.cli import add_bench_arguments
+    add_bench_arguments(p_bench)
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 
@@ -178,7 +236,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command is None:
         # Legacy interface: `python -m repro [--save PATH]` == report.
-        report = quick_report()
+        with _gc_paused():
+            report = quick_report()
         print(report.to_markdown())
         if args.legacy_save:
             path = report.save(args.legacy_save)

@@ -12,10 +12,24 @@ for the quantities the paper measures -- the latency gaps between row
 hits, row conflicts, refreshes and preventive actions -- at a tiny
 fraction of the cost, which is what makes the reproduction feasible in
 pure Python.
+
+Hot-path organization
+---------------------
+The pending queue is kept *per bank* (:class:`_BankQueue`): each bank
+holds its requests in a seq-ordered FIFO plus a per-row FIFO map.  The
+FR-FCFS key of the whole bank -- ``(start, not favored_hit, seq)`` --
+is then computable in O(1): the best candidate of a bank is the oldest
+request to the open row when the row is favored, else the oldest
+request overall.  A select scans only the *occupied* banks (typically
+one or two in the paper's attack workloads) instead of every queued
+request, and servicing a request is O(1) instead of the former
+O(queue) ``list.remove``.  Every request precomputes its flat bank
+index and bank reference once, at submit time.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from collections import deque
 from typing import Callable
 
@@ -30,7 +44,8 @@ class Request:
     """One memory request (a 64-byte read or write)."""
 
     __slots__ = ("addr", "coord", "is_write", "arrive", "callback", "seq",
-                 "start_service", "complete", "kind")
+                 "start_service", "complete", "kind", "flat", "bank",
+                 "bank_queue", "_in_queue")
 
     def __init__(self, addr: int, coord: Coord, is_write: bool, arrive: int,
                  callback: Callable[["Request"], None], seq: int) -> None:
@@ -44,6 +59,15 @@ class Request:
         self.complete: int | None = None
         #: "hit" | "miss" | "conflict", filled at service time.
         self.kind: str | None = None
+        #: Flat bank id within the rank; filled by the controller.
+        self.flat: int = 0
+        #: The owning :class:`BankState`; filled by the controller.
+        self.bank: BankState | None = None
+        #: The owning :class:`_BankQueue`; filled by the controller.
+        self.bank_queue = None
+        #: Whether the request still sits in a bank queue (lazy FIFO
+        #: deletion marker).
+        self._in_queue = False
 
     @property
     def latency(self) -> int:
@@ -51,6 +75,45 @@ class Request:
         if self.complete is None:
             raise RuntimeError("request not complete yet")
         return self.complete - self.arrive
+
+
+class _BankQueue:
+    """Pending requests of one bank, organized for O(1) FR-FCFS heads.
+
+    ``fifo`` holds requests in seq (submission) order; requests serviced
+    out of FIFO order (favored row hits) are lazily deleted via the
+    request's ``_in_queue`` flag.  ``by_row`` maps row -> deque of that
+    row's pending requests, also in seq order, so the oldest favored hit
+    is ``by_row[open_row][0]``.
+    """
+
+    __slots__ = ("bank", "fifo", "by_row", "size")
+
+    def __init__(self, bank: BankState) -> None:
+        self.bank = bank
+        self.fifo: deque[Request] = deque()
+        self.by_row: dict[int, deque[Request]] = {}
+        self.size = 0
+
+    def append(self, req: Request) -> None:
+        req._in_queue = True
+        self.fifo.append(req)
+        row_q = self.by_row.get(req.coord.row)
+        if row_q is None:
+            self.by_row[req.coord.row] = deque((req,))
+        else:
+            row_q.append(req)
+        self.size += 1
+
+    def head(self) -> Request:
+        """Oldest live request (callers guarantee ``size > 0``).
+
+        The single-occupied-bank fast path in ``_on_wake`` inlines this
+        lazy-popleft loop; keep the two in sync."""
+        fifo = self.fifo
+        while not fifo[0]._in_queue:
+            fifo.popleft()
+        return fifo[0]
 
 
 class MemoryController:
@@ -70,17 +133,52 @@ class MemoryController:
             for r in range(self.org.ranks)
         ]
         self.defense = _NullDefense()
-        self._queue: deque[Request] = deque()
+        self._bank_queues: list[list[_BankQueue]] = [
+            [_BankQueue(bank) for bank in rank_banks]
+            for rank_banks in self.banks
+        ]
+        #: Ordered set (dict keyed by identity) of bank queues with at
+        #: least one pending request.  Dict insertion order is
+        #: deterministic and the selection min-key has a globally unique
+        #: seq tie-breaker, so iteration order cannot affect results.
+        self._occupied: dict[_BankQueue, None] = {}
+        self._queue_len = 0
         self._backlog: deque[Request] = deque()
-        #: In-flight data-bus reservations as (start, end), kept sorted
-        #: by start.  A burst takes the earliest gap at or after its
-        #: ready time, so a short row-hit transfer is not serialized
+        #: In-flight data-bus reservations, kept sorted by start as two
+        #: parallel lists.  A burst takes the earliest gap at or after
+        #: its ready time, so a short row-hit transfer is not serialized
         #: behind the full PRE+ACT+RD pipeline of an earlier-scheduled
-        #: request to a different bank.
-        self._bus_reservations: list[tuple[int, int]] = []
+        #: request to a different bank.  All bursts share one duration
+        #: (tBL), so the end list is sorted too -- which the expiry
+        #: pruning's bisect relies on.
+        self._bus_starts: list[int] = []
+        self._bus_ends: list[int] = []
         self._next_seq = 0
         self._wake_at: int | None = None
         self.queue_high_water = 0
+        #: addr -> (coord, flat, bank, bank_queue): decode and bank
+        #: resolution done once per distinct address.
+        self._addr_plan: dict[int, tuple] = {}
+        # Hot-path constants and stable bound references: re-deriving a
+        # config attribute or creating a bound method per request is
+        # avoidable allocation/lookup work.
+        self._queue_cap = config.queue_size
+        self._column_cap = config.column_cap
+        self._on_wake_cb = self._on_wake
+        self._sched_call_at = sim.schedule_call_at
+        t = config.timing
+        self._tRC = t.tRC
+        self._tRAS = t.tRAS
+        self._tRP = t.tRP
+        self._tRCD = t.tRCD
+        self._tCL = t.tCL
+        self._tBL = t.tBL
+        #: On-chip frontend latency added between data-burst completion
+        #: and the completion callback -- the callback models the data
+        #: returning to the core.  Fusing this here (instead of a
+        #: system-level relay event per request) saves one engine event
+        #: and one dispatch per request.
+        self._frontend = config.frontend_latency
 
     # ------------------------------------------------------------------
     # Public API
@@ -91,22 +189,67 @@ class MemoryController:
 
     def submit(self, addr: int, callback: Callable[[Request], None],
                is_write: bool = False) -> Request:
-        """Enqueue a request; ``callback(request)`` fires at completion."""
-        coord = self.mapper.decode(addr)
-        req = Request(addr, coord, is_write, self.sim.now, callback,
-                      self._next_seq)
+        """Enqueue a request; ``callback(request)`` fires once the data
+        returns to the core (completion plus the frontend latency).
+        ``request.complete`` records the DRAM-side completion time."""
+        plan = self._addr_plan.get(addr)
+        if plan is None:
+            coord = self.mapper.decode(addr)
+            flat = coord.bankgroup * self.org.banks_per_group + coord.bank
+            plan = (coord, flat, self.banks[coord.rank][flat],
+                    self._bank_queues[coord.rank][flat])
+            if len(self._addr_plan) >= (1 << 16):
+                self._addr_plan.clear()
+            self._addr_plan[addr] = plan
+        coord, flat, bank, bank_queue = plan
+        sim = self.sim
+        now = sim.now
+        # Direct construction (no __init__ frame): this is the hottest
+        # allocation in the simulator.
+        req = _new_request(Request)
+        req.addr = addr
+        req.coord = coord
+        req.is_write = is_write
+        req.arrive = now
+        req.callback = callback
+        req.seq = self._next_seq
+        req.start_service = None
+        req.complete = None
+        req.kind = None
+        req.flat = flat
+        req.bank = bank
+        req.bank_queue = bank_queue
         self._next_seq += 1
-        if len(self._queue) >= self.config.queue_size:
-            self._backlog.append(req)
+        backlog = self._backlog
+        if self._queue_len >= self._queue_cap:
+            req._in_queue = False
+            backlog.append(req)
         else:
-            self._queue.append(req)
-        depth = len(self._queue) + len(self._backlog)
+            # _BankQueue.append, inlined.
+            req._in_queue = True
+            bank_queue.fifo.append(req)
+            by_row = bank_queue.by_row
+            row_q = by_row.get(coord.row)
+            if row_q is None:
+                by_row[coord.row] = deque((req,))
+            else:
+                row_q.append(req)
+            size = bank_queue.size = bank_queue.size + 1
+            self._queue_len += 1
+            if size == 1:
+                self._occupied[bank_queue] = None
+        depth = self._queue_len + len(backlog)
         if depth > self.queue_high_water:
             self.queue_high_water = depth
         # Defer scheduling decisions to an immediate event so requests
         # submitted at the same instant are considered together (a hit
         # arriving "simultaneously" with a conflict must win FR-FCFS).
-        self._schedule_wake(self.sim.now)
+        # (_schedule_wake inlined: a wake at ``now`` is never in the
+        # past, and an already-armed wake at or before ``now`` wins.)
+        wake = self._wake_at
+        if wake is None or wake > now:
+            self._wake_at = now
+            sim.schedule_call_at(now, self._on_wake_cb, now)
         return req
 
     def bank(self, rank: int, flat_id: int) -> BankState:
@@ -142,70 +285,124 @@ class MemoryController:
 
     @property
     def queued_requests(self) -> int:
-        return len(self._queue) + len(self._backlog)
+        return self._queue_len + len(self._backlog)
 
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
+    def _enqueue(self, req: Request) -> None:
+        bank_queue = req.bank_queue
+        bank_queue.append(req)
+        self._queue_len += 1
+        if bank_queue.size == 1:
+            self._occupied[bank_queue] = None
+
     def _schedule_wake(self, at: int) -> None:
-        if at < self.sim.now:
-            at = self.sim.now
-        if self._wake_at is not None and self._wake_at <= at:
+        now = self.sim.now
+        if at < now:
+            at = now
+        armed = self._wake_at
+        if armed is not None and armed <= at:
             return
         self._wake_at = at
-        self.sim.schedule_at(at, self._on_wake)
+        self.sim.schedule_call_at(at, self._on_wake_cb, at)
 
-    def _on_wake(self) -> None:
-        self._wake_at = None
-        self._wake()
-
-    def _wake(self) -> None:
+    def _on_wake(self, at: int) -> None:
         """Issue every request whose commands can start now; then sleep
-        until the earliest future start among the remaining requests."""
-        now = self.sim.now
-        while self._queue:
-            req, start = self._select(now)
-            if start > now:
-                self._schedule_wake(start)
-                return
-            self._service(req, now)
-            if self._backlog:
-                self._queue.append(self._backlog.popleft())
+        until the earliest future start among the remaining requests.
 
-    def _select(self, now: int) -> tuple[Request, int]:
-        """FR-FCFS: earliest-startable first; among those, row hits under
-        the column cap beat older conflicting requests; ties by age."""
-        cap = self.config.column_cap
-        banks = self.banks
-        best = None
-        best_key = None
-        for req in self._queue:
-            coord = req.coord
-            bank = banks[coord.rank][coord.bankgroup
-                                     * self.org.banks_per_group + coord.bank]
-            start = bank.busy_until
-            if start < now:
-                start = now
-            is_hit = bank.open_row == coord.row
-            favored_hit = is_hit and bank.hit_streak < cap
-            key = (start, not favored_hit, req.seq)
-            if best_key is None or key < best_key:
-                best_key = key
-                best = req
-        assert best is not None and best_key is not None
-        return best, best_key[0]
+        FR-FCFS selection -- earliest-startable first, then favored
+        row hits under the column cap, ties by age -- is inlined into
+        the loop body: it runs once per serviced request and once more
+        to discover the next wake time, making it the single hottest
+        piece of controller code.  Each occupied bank contributes its
+        best candidate in O(1): the oldest request to the open row when
+        that row is favored, else its oldest request overall."""
+        # Re-arming an *earlier* wake leaves the later event in the
+        # engine; it arrives here stale (its time no longer matches the
+        # armed time) and must not trigger a spurious scheduler scan.
+        if at != self._wake_at:
+            return
+        self._wake_at = None
+        now = self.sim.now
+        cap = self._column_cap
+        occupied = self._occupied
+        backlog = self._backlog
+        while self._queue_len:
+            if len(occupied) == 1:
+                # Fast path: one occupied bank (the common case in the
+                # paper's single-bank attack loops) needs no key tuples
+                # or cross-bank comparison.
+                for bank_queue in occupied:
+                    break
+                bank = bank_queue.bank
+                start = bank.busy_until
+                if start > now:
+                    self._schedule_wake(start)
+                    return
+                row_q = bank_queue.by_row.get(bank.open_row)
+                if row_q and bank.hit_streak < cap:
+                    best = row_q[0]
+                else:
+                    fifo = bank_queue.fifo
+                    while not fifo[0]._in_queue:
+                        fifo.popleft()
+                    best = fifo[0]
+            else:
+                best = None
+                best_key = None
+                for bank_queue in occupied:
+                    bank = bank_queue.bank
+                    start = bank.busy_until
+                    if start < now:
+                        start = now
+                    row_q = bank_queue.by_row.get(bank.open_row)
+                    if row_q and bank.hit_streak < cap:
+                        req = row_q[0]
+                        key = (start, False, req.seq)
+                    else:
+                        req = bank_queue.head()
+                        key = (start, True, req.seq)
+                    if best_key is None or key < best_key:
+                        best_key = key
+                        best = req
+                start = best_key[0]
+                if start > now:
+                    self._schedule_wake(start)
+                    return
+            self._service(best, now)
+            if backlog:
+                self._enqueue(backlog.popleft())
 
     # ------------------------------------------------------------------
     # Service
     # ------------------------------------------------------------------
     def _service(self, req: Request, now: int) -> None:
-        self._queue.remove(req)
-        t = self.timing
+        # Dequeue.  The serviced request is always the oldest of its
+        # row (either the favored-hit head of that row, or the overall
+        # oldest of the bank and hence oldest of its row too), so it is
+        # the front of its row deque; the seq-ordered bank FIFO uses
+        # lazy deletion via ``_in_queue``.
+        bank_queue = req.bank_queue
+        row = req.coord.row
+        by_row = bank_queue.by_row
+        row_q = by_row[row]
+        row_q.popleft()
+        if not row_q:
+            del by_row[row]
+        req._in_queue = False
+        fifo = bank_queue.fifo
+        if fifo[0] is req:
+            fifo.popleft()
+        bank_queue.size -= 1
+        self._queue_len -= 1
+        if bank_queue.size == 0:
+            fifo.clear()
+            del self._occupied[bank_queue]
+
         coord = req.coord
-        flat = coord.bankgroup * self.org.banks_per_group + coord.bank
-        bank = self.banks[coord.rank][flat]
+        bank = req.bank
         stats = self.stats
-        defense = self.defense
 
         start = bank.busy_until
         if start < now:
@@ -221,30 +418,45 @@ class MemoryController:
             req.kind = "miss"
             stats.row_misses += 1
             act = start
-            min_act = bank.act_time + t.tRC
+            min_act = bank.act_time + self._tRC
             if act < min_act:
                 act = min_act
-            self._do_activate(bank, coord.row, act)
-            rd = act + t.tRCD
+            # _do_activate, inlined.
+            bank.open_row = coord.row
+            bank.act_time = act
+            bank.hit_streak = 1
+            stats.activations += 1
+            self.defense.on_activate(bank.rank, bank.flat_id, coord.row,
+                                     act)
+            rd = act + self._tRCD
         else:
             req.kind = "conflict"
             stats.row_conflicts += 1
             pre = start
-            min_pre = bank.act_time + t.tRAS
+            min_pre = bank.act_time + self._tRAS
             if pre < min_pre:
                 pre = min_pre
             closed_row = bank.open_row
             bank.close()
             stats.precharges += 1
-            defense.on_precharge(coord.rank, flat, closed_row, pre)
-            act = pre + t.tRP
-            self._do_activate(bank, coord.row, act)
-            rd = act + t.tRCD
+            self.defense.on_precharge(coord.rank, req.flat, closed_row,
+                                      pre)
+            act = pre + self._tRP
+            # _do_activate, inlined.
+            bank.open_row = coord.row
+            bank.act_time = act
+            bank.hit_streak = 1
+            stats.activations += 1
+            self.defense.on_activate(bank.rank, bank.flat_id, coord.row,
+                                     act)
+            rd = act + self._tRCD
 
-        data_start = self._reserve_bus(rd + t.tCL, t.tBL)
-        done = data_start + t.tBL
-        if bank.busy_until < rd + t.tBL:
-            bank.busy_until = rd + t.tBL
+        tBL = self._tBL
+        data_start = self._reserve_bus(rd + self._tCL, tBL, now)
+        done = data_start + tBL
+        busy = rd + tBL
+        if bank.busy_until < busy:
+            bank.busy_until = busy
 
         if req.is_write:
             stats.writes += 1
@@ -252,33 +464,46 @@ class MemoryController:
             stats.reads += 1
         stats.requests_served += 1
         req.complete = done
-        self.sim.schedule_at(done, lambda r=req: r.callback(r))
+        self._sched_call_at(done + self._frontend, req.callback, req)
 
-    def _reserve_bus(self, earliest: int, duration: int) -> int:
+    def _reserve_bus(self, earliest: int, duration: int,
+                     now: int | None = None) -> int:
         """Book the earliest bus slot of ``duration`` at or after
         ``earliest``; returns the slot's start time."""
-        reservations = self._bus_reservations
-        now = self.sim.now
-        if reservations and reservations[0][1] <= now:
-            self._bus_reservations = reservations = [
-                r for r in reservations if r[1] > now]
+        starts = self._bus_starts
+        ends = self._bus_ends
+        if ends:
+            if now is None:
+                now = self.sim.now
+            if ends[0] <= now:
+                # Prune *every* expired reservation (ends are sorted,
+                # see the attribute comment), not just the front one --
+                # an expired entry can never constrain a future slot,
+                # and keeping them would let the list grow without
+                # bound.
+                cut = bisect_right(ends, now)
+                del starts[:cut]
+                del ends[:cut]
+            if ends and earliest >= ends[-1]:
+                # Fast path: the bus is free at or before ``earliest``
+                # (the overwhelmingly common closed-loop probe case).
+                starts.append(earliest)
+                ends.append(earliest + duration)
+                return earliest
         start = earliest
-        insert_at = len(reservations)
-        for i, (res_start, res_end) in enumerate(reservations):
+        insert_at = len(starts)
+        for i, res_start in enumerate(starts):
             if start + duration <= res_start:
                 insert_at = i
                 break
+            res_end = ends[i]
             if res_end > start:
                 start = res_end
-        reservations.insert(insert_at, (start, start + duration))
+        starts.insert(insert_at, start)
+        ends.insert(insert_at, start + duration)
         return start
 
-    def _do_activate(self, bank: BankState, row: int, act: int) -> None:
-        bank.open_row = row
-        bank.act_time = act
-        bank.hit_streak = 1
-        self.stats.activations += 1
-        self.defense.on_activate(bank.rank, bank.flat_id, row, act)
+_new_request = object.__new__
 
 
 class _NullDefense:

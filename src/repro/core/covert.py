@@ -122,10 +122,15 @@ class WindowedSender(Agent):
         self.accesses = 0
         self._halted_window = -1
         self._issue_time = 0
+        # Stable bound references for the per-access hot loop.
+        self._tick_cb = self._tick
+        self._complete_cb = self._complete
+        self._classify = classifier.classify
+        self._submit = system.controller.submit
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self.sim.schedule_at(self.epoch, self._tick)
+        self.sim.schedule_at(self.epoch, self._tick_cb)
 
     def _window_of(self, t: int) -> int:
         return (t - self.epoch) // self.window_ps
@@ -135,7 +140,7 @@ class WindowedSender(Agent):
             return
         now = self.sim.now
         if now < self.epoch:
-            self.sim.schedule_at(self.epoch, self._tick)
+            self.sim.schedule_at(self.epoch, self._tick_cb)
             return
         window = self._window_of(now)
         if window >= len(self.symbols):
@@ -144,23 +149,24 @@ class WindowedSender(Agent):
         gap = self.gaps[self.symbols[window]]
         if gap is None or window == self._halted_window:
             next_start = self.epoch + (window + 1) * self.window_ps
-            self.sim.schedule_at(next_start, self._tick)
+            self.sim.schedule_at(next_start, self._tick_cb)
             return
         self._issue_time = now
         self.accesses += 1
-        self.system.submit(self.addr, self._complete)
+        self._submit(self.addr, self._complete_cb)
 
     def _complete(self, req) -> None:
         now = self.sim.now
         window = self._window_of(now)
         delta = now - self._issue_time + self.overhead
-        if (self.stop_on_backoff and self.classifier.is_backoff(delta)
+        if (self.stop_on_backoff
+                and self._classify(delta) is EventKind.BACKOFF
                 and 0 <= window < len(self.symbols)):
             self._halted_window = window
         gap = self.gaps.get(self.symbols[min(window, len(self.symbols) - 1)]
                             ) if window < len(self.symbols) else None
         sleep = self.overhead + (gap or 0)
-        self.sim.schedule(sleep, self._tick)
+        self.sim.schedule(sleep, self._tick_cb)
 
 
 class WindowedReceiver(LatencyProbe):
@@ -197,13 +203,15 @@ class WindowedReceiver(LatencyProbe):
         #: multibit decoder's symbol discriminator.
         self.time_to_backoff: list[int | None] = [None] * n_windows
         self._window_count = [0] * n_windows
+        self._classify = classifier.classify
 
     def _observe(self, sample: LatencySample) -> None:
-        mid = sample.end_time - sample.delta // 2
+        delta = sample.delta
+        mid = sample.end_time - delta // 2
         window = (mid - self.epoch) // self.window_ps
         if not 0 <= window < self.n_windows:
             return
-        kind = self.classifier.classify(sample.delta)
+        kind = self._classify(delta)
         self.window_events[window].append(kind)
         self.window_samples[window] += 1
         self._window_count[window] += 1

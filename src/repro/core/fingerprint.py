@@ -17,8 +17,10 @@ previous pair, and (iii) the pair's mean timestamp.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-import numpy as np
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import numpy as np
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
 from repro.core.probe import EventKind, LatencyClassifier
@@ -71,6 +73,8 @@ class FingerprintTrace:
 
     def window_counts(self, n_windows: int) -> np.ndarray:
         """The Fig. 9 strip: back-offs per execution window."""
+        import numpy as np  # deferred: keeps numpy off the CLI hot start
+
         counts = np.zeros(n_windows, dtype=float)
         width = self.duration_ps / n_windows
         for t in self.backoff_times:
@@ -80,6 +84,8 @@ class FingerprintTrace:
 
     def features(self, n_windows: int, n_pairs: int) -> np.ndarray:
         """Fixed-length feature vector (windows + pair features + stats)."""
+        import numpy as np  # deferred: keeps numpy off the CLI hot start
+
         parts = [self.window_counts(n_windows)]
         times = np.asarray(self.backoff_times, dtype=float) / US
         pair_feats = np.full(3 * n_pairs, -1.0)
@@ -180,6 +186,8 @@ class WebsiteFingerprinter:
 
         Returns (features X, integer labels y, label names).
         """
+        import numpy as np  # deferred: keeps numpy off the CLI hot start
+
         cfg = self.cfg
         features = []
         labels = []

@@ -14,6 +14,7 @@ not below) ~10 ns of preventive-action latency.
 from __future__ import annotations
 
 import enum
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.cpu.probe import LatencySample
@@ -56,6 +57,21 @@ class LatencyClassifier:
         self.resolution_ps = (resolution_ps if resolution_ps is not None
                               else self.DEFAULT_RESOLUTION_PS)
         self.levels = self._build_levels(config)
+        # Precomputed classify plan: nearest-level assignment is a
+        # bisect over the doubled midpoints between adjacent levels
+        # (comparing 2*delta against d_i + d_{i+1} keeps everything in
+        # integers), and the resolution guard's walk-down is resolved
+        # once per level here instead of per sample.
+        deltas = [level.delta_ps for level in self.levels]
+        self._boundaries = [deltas[i] + deltas[i + 1]
+                            for i in range(len(deltas) - 1)]
+        resolved_kinds = []
+        for idx in range(len(self.levels)):
+            while idx > 0 and (deltas[idx] - deltas[idx - 1]
+                               < self.resolution_ps):
+                idx -= 1
+            resolved_kinds.append(self.levels[idx].kind)
+        self._resolved_kinds = resolved_kinds
 
     # ------------------------------------------------------------------
     def _build_levels(self, config: SystemConfig) -> list[LatencyLevel]:
@@ -102,22 +118,13 @@ class LatencyClassifier:
         separation is below the measurement resolution; such samples
         are attributed to the lower (more common, less informative)
         level -- the attacker cannot tell them apart.
+
+        Nearest-with-ties-down plus the resolution walk-down are both
+        precomputed (see ``__init__``), so a call is one bisect and a
+        table lookup.
         """
-        best = self.levels[0]
-        best_dist = abs(delta_ps - best.delta_ps)
-        for level in self.levels[1:]:
-            dist = abs(delta_ps - level.delta_ps)
-            if dist < best_dist:
-                best = level
-                best_dist = dist
-        # Resolution guard: degrade to the closest lower level when the
-        # chosen one is not separable from it.
-        idx = self.levels.index(best)
-        while idx > 0 and (self.levels[idx].delta_ps
-                           - self.levels[idx - 1].delta_ps
-                           < self.resolution_ps):
-            idx -= 1
-        return self.levels[idx].kind
+        return self._resolved_kinds[
+            bisect_left(self._boundaries, 2 * delta_ps)]
 
     def classify_sample(self, sample: LatencySample) -> EventKind:
         return self.classify(sample.delta)

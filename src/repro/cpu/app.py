@@ -106,7 +106,9 @@ class SyntheticAppAgent(Agent):
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self.sim.schedule_at(self.start_time, self._issue)
+        self._issue_cb = self._issue
+        self._complete_cb = self._complete
+        self.sim.schedule_at(self.start_time, self._issue_cb)
 
     def _next_addr(self) -> int:
         spec = self.spec
@@ -127,7 +129,7 @@ class SyntheticAppAgent(Agent):
         if self.stop_time is not None and self.sim.now >= self.stop_time:
             self._finish()
             return
-        self.system.submit(self._next_addr(), self._complete)
+        self.system.submit(self._next_addr(), self._complete_cb)
 
     def _complete(self, req) -> None:
         self.requests_done += 1
@@ -141,7 +143,7 @@ class SyntheticAppAgent(Agent):
             gap = max(1, round(self.rng.expovariate(1.0 / think)))
         else:
             gap = 1
-        self.sim.schedule(gap, self._issue)
+        self.sim.schedule(gap, self._issue_cb)
 
     # ------------------------------------------------------------------
     @property

@@ -58,6 +58,10 @@ class NoiseAgent(Agent):
         self.requests_issued = 0
         self._idx = 0
         self._in_burst = 0
+        # Stable bound references for the per-access hot loop.
+        self._issue_cb = self._issue
+        self._complete_cb = self._complete
+        self._submit = system.controller.submit
 
     @classmethod
     def for_intensity(cls, system: MemorySystem, addrs: list[int],
@@ -67,7 +71,7 @@ class NoiseAgent(Agent):
                    **kwargs)
 
     def start(self) -> None:
-        self.sim.schedule_at(self.start_time, self._issue)
+        self.sim.schedule_at(self.start_time, self._issue_cb)
 
     def _issue(self) -> None:
         if self.done:
@@ -78,7 +82,7 @@ class NoiseAgent(Agent):
         addr = self.addrs[self._idx]
         self._idx = (self._idx + 1) % len(self.addrs)
         self.requests_issued += 1
-        self.system.submit(addr, self._complete)
+        self._submit(addr, self._complete_cb)
 
     def _complete(self, req) -> None:
         if self.done:
@@ -88,4 +92,4 @@ class NoiseAgent(Agent):
             self._issue()
             return
         self._in_burst = 0
-        self.sim.schedule(self.sleep_ps, self._issue)
+        self.sim.schedule(self.sleep_ps, self._issue_cb)

@@ -12,16 +12,20 @@ what a userspace attacker measures with ``rdtsc``/``m5_rpns``.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable
+import zlib
+from typing import Callable, NamedTuple
 
 from repro.cpu.agent import Agent
 from repro.system import MemorySystem
 
 
-@dataclass(frozen=True)
-class LatencySample:
-    """One loop-iteration measurement."""
+class LatencySample(NamedTuple):
+    """One loop-iteration measurement.
+
+    A ``NamedTuple`` rather than a dataclass: a probe records one of
+    these per loop iteration, and tuple construction is several times
+    cheaper than a frozen dataclass's ``object.__setattr__`` chain.
+    """
 
     end_time: int  #: timestamp at the end of the iteration (ps)
     delta: int  #: measured iteration latency (ps)
@@ -78,17 +82,28 @@ class LatencyProbe(Agent):
         self.accesses_per_addr = accesses_per_addr
         self.on_sample = on_sample
         self.jitter_ps = jitter_ps
+        # crc32, not hash(): str hashes are salted per process, which
+        # made jittered runs nondeterministic across processes (and
+        # silently broke the result cache's same-key-same-value
+        # guarantee for jittered experiments like fig11).
         self._jitter_rng = random.Random(
-            (hash(name) & 0xFFFF) ^ system.config.seed ^ 0x1177)
+            (zlib.crc32(name.encode()) & 0xFFFF) ^ system.config.seed
+            ^ 0x1177)
         self.samples: list[LatencySample] = []
         self._addr_idx = 0
         self._repeat = 0
         self._prev_end = start_time
         self._sleeping_until: int | None = None
+        # Stable bound-method references: attribute access creates a
+        # fresh bound method object, which the per-iteration hot loop
+        # must not pay for.
+        self._issue_cb = self._issue
+        self._complete_cb = self._complete
+        self._submit = system.controller.submit
 
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self.sim.schedule_at(self.start_time, self._issue)
+        self.sim.schedule_at(self.start_time, self._issue_cb)
 
     def sleep_until(self, t: int) -> None:
         """Pause the access loop until absolute time ``t`` (resets the
@@ -102,7 +117,7 @@ class LatencyProbe(Agent):
             wake = max(self._sleeping_until, self.sim.now)
             self._sleeping_until = None
             self._prev_end = wake
-            self.sim.schedule_at(wake, self._issue)
+            self.sim.schedule_at(wake, self._issue_cb)
             return
         if self.stop_time is not None and self.sim.now >= self.stop_time:
             self._finish()
@@ -111,8 +126,7 @@ class LatencyProbe(Agent):
                 and len(self.samples) >= self.max_samples):
             self._finish()
             return
-        addr = self.addrs[self._addr_idx]
-        self.system.submit(addr, self._complete)
+        self._submit(self.addrs[self._addr_idx], self._complete_cb)
 
     def _complete(self, req) -> None:
         now = self.sim.now
@@ -120,21 +134,21 @@ class LatencyProbe(Agent):
         if self.jitter_ps:
             half = self.jitter_ps // 2
             delta = max(0, delta + self._jitter_rng.randint(-half, half))
-        sample = LatencySample(end_time=now, delta=delta, addr=req.addr)
+        sample = LatencySample(now, delta, req.addr)
         self._prev_end = now
         self.samples.append(sample)
-        self._advance_index()
+        # Advance the round-robin index (inlined _advance_index).
+        repeat = self._repeat + 1
+        if repeat >= self.accesses_per_addr:
+            self._repeat = 0
+            self._addr_idx = (self._addr_idx + 1) % len(self.addrs)
+        else:
+            self._repeat = repeat
         if self.on_sample is not None:
             self.on_sample(sample)
         if self.done:
             return
-        self.sim.schedule(self.overhead, self._issue)
-
-    def _advance_index(self) -> None:
-        self._repeat += 1
-        if self._repeat >= self.accesses_per_addr:
-            self._repeat = 0
-            self._addr_idx = (self._addr_idx + 1) % len(self.addrs)
+        self.sim.schedule_at(now + self.overhead, self._issue_cb)
 
     # ------------------------------------------------------------------
     @property

@@ -29,10 +29,12 @@ class TraceReplayAgent(Agent):
         self.completed = 0
 
     def start(self) -> None:
+        self._pump_cb = self._pump
+        self._complete_cb = self._complete
         if not self.trace:
             self.sim.schedule_at(self.start_time, self._finish)
             return
-        self.sim.schedule_at(self.start_time, self._pump)
+        self.sim.schedule_at(self.start_time, self._pump_cb)
 
     def _pump(self) -> None:
         """Issue every due record, up to the outstanding limit."""
@@ -47,11 +49,11 @@ class TraceReplayAgent(Agent):
                 break
             self._next_idx += 1
             self._outstanding += 1
-            self.system.submit(addr, self._complete)
+            self.system.submit(addr, self._complete_cb)
         if (self._next_idx < len(self.trace)
                 and self._outstanding < self.max_outstanding):
             offset, _ = self.trace[self._next_idx]
-            self.sim.schedule_at(self.start_time + offset, self._pump)
+            self.sim.schedule_at(self.start_time + offset, self._pump_cb)
 
     def _complete(self, req) -> None:
         self._outstanding -= 1

@@ -64,17 +64,32 @@ class AddressMapper:
         self._row_shift = shift
         self.address_bits = shift + self._row_bits
 
+        # Cached shift/mask plan: decode is straight-line integer ops
+        # against these precomputed masks instead of re-deriving
+        # ``(1 << bits) - 1`` per field per call.
+        self._rank_mask = (1 << self._rank_bits) - 1
+        self._bg_mask = (1 << self._bg_bits) - 1
+        self._bank_mask = (1 << self._bank_bits) - 1
+        self._row_mask = (1 << self._row_bits) - 1
+        self._col_mask = (1 << self._col_bits) - 1
+        self._addr_limit = 1 << self.address_bits
+
     # ------------------------------------------------------------------
     def decode(self, addr: int) -> Coord:
-        """Map a byte address to its DRAM coordinate."""
-        if addr < 0 or addr >= (1 << self.address_bits):
+        """Map a byte address to its DRAM coordinate.
+
+        Straight-line integer ops; the memory controller additionally
+        memoizes per-address decode *plans* (coord + bank resolution)
+        on its own hot path, so no memo lives here.
+        """
+        if addr < 0 or addr >= self._addr_limit:
             raise ValueError(f"address {addr:#x} outside the mapped space")
         return Coord(
-            rank=(addr >> self._rank_shift) & ((1 << self._rank_bits) - 1),
-            bankgroup=(addr >> self._bg_shift) & ((1 << self._bg_bits) - 1),
-            bank=(addr >> self._bank_shift) & ((1 << self._bank_bits) - 1),
-            row=(addr >> self._row_shift) & ((1 << self._row_bits) - 1),
-            col=(addr >> self._col_shift) & ((1 << self._col_bits) - 1),
+            rank=(addr >> self._rank_shift) & self._rank_mask,
+            bankgroup=(addr >> self._bg_shift) & self._bg_mask,
+            bank=(addr >> self._bank_shift) & self._bank_mask,
+            row=(addr >> self._row_shift) & self._row_mask,
+            col=(addr >> self._col_shift) & self._col_mask,
         )
 
     def encode(self, rank: int = 0, bankgroup: int = 0, bank: int = 0,

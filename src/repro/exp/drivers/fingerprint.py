@@ -9,9 +9,6 @@ from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
 from repro.core.rfm_channel import RfmChannelConfig, RfmCovertChannel
 from repro.exp.drivers.common import evaluate_patterns
 from repro.exp.registry import experiment
-from repro.ml import cross_validate, paper_model_zoo, train_test_split
-from repro.ml.metrics import accuracy_score
-from repro.ml.tree import DecisionTreeClassifier
 from repro.sim.engine import MS
 from repro.workloads.websites import WebsiteCatalog
 
@@ -51,6 +48,12 @@ def fig10_table2_fingerprint(n_sites: int = 10, traces_per_site: int = 10,
                              n_splits: int = 5,
                              with_noise: bool = False) -> dict:
     """Fig. 10 (classifier accuracies) and Table 2 (decision-tree CV)."""
+    # Deferred: the ML stack (and numpy under it) loads only when a
+    # fingerprinting experiment actually runs, keeping CLI startup lean.
+    from repro.ml import cross_validate, paper_model_zoo, train_test_split
+    from repro.ml.metrics import accuracy_score
+    from repro.ml.tree import DecisionTreeClassifier
+
     cfg = FingerprintConfig(duration_ps=duration_ps,
                             spec_noise="H" if with_noise else None)
     fingerprinter = WebsiteFingerprinter(cfg)
@@ -92,6 +95,10 @@ def fig10_table2_fingerprint(n_sites: int = 10, traces_per_site: int = 10,
 def sec103_cache_hierarchy(n_bits: int = 24, n_sites: int = 6,
                            traces_per_site: int = 6,
                            duration_ps: int = 1 * MS) -> dict:
+    from repro.ml import train_test_split
+    from repro.ml.metrics import accuracy_score
+    from repro.ml.tree import DecisionTreeClassifier
+
     large = HierarchyConfig.large()
     big_frontend = large.total_lookup_latency
 

@@ -10,8 +10,6 @@ bit-identical regardless of worker count.
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.analysis.figures import FigureTable
 from repro.analysis.speedup import (
     normalized_weighted_speedup,
@@ -145,6 +143,8 @@ def fig13_performance(nrh_values=(1024, 512, 256, 128, 64),
                       seed: int = 0,
                       workers: int | None = None) -> dict:
     """Normalized weighted speedup of every mechanism at every N_RH."""
+    import numpy as np  # deferred: keeps numpy off the CLI hot start
+
     table = FigureTable(
         "Fig. 13: normalized weighted speedup vs RowHammer threshold",
         ["N_RH"] + [name for name, _ in FIG13_MECHANISMS])

@@ -24,7 +24,6 @@ import hashlib
 import inspect
 import time
 import warnings
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
 from itertools import repeat
 from typing import Callable, Iterable, Sequence
@@ -86,6 +85,10 @@ def map_trials(fn: Callable, points: Iterable, *,
         else [derive_seed(seed, i) for i in range(len(points))])
 
     if workers is not None and workers > 1 and len(points) > 1:
+        # Deferred import: the pool machinery is only paid for when a
+        # parallel sweep is actually requested (keeps CLI startup lean).
+        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+
         # Fall back to serial only on pool-machinery failure: OSError
         # from pool construction, or BrokenExecutor when workers could
         # not spawn / died.  An exception raised by a trial itself

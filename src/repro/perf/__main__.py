@@ -1,0 +1,11 @@
+"""Standalone entry point: ``python -m repro.perf [--quick] ...``.
+
+Equivalent to ``python -m repro bench``; exists so the suite can be
+pointed at older checkouts of the library (whose CLI predates the
+``bench`` subcommand) when collecting before/after trajectories.
+"""
+
+from repro.perf.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

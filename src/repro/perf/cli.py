@@ -1,0 +1,60 @@
+"""Argument parsing and rendering for the bench suite."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="small scales, one repeat, no full-report "
+                             "subprocess (CI smoke mode)")
+    parser.add_argument("--label", default=None,
+                        help="free-form label stored in the BENCH json")
+    parser.add_argument("--out-dir", default=None, metavar="DIR",
+                        help="directory for BENCH_<timestamp>.json "
+                             "(default: current directory)")
+    parser.add_argument("--no-compare", action="store_true",
+                        help="skip the comparison against the previous "
+                             "BENCH file")
+
+
+def render(doc: dict) -> str:
+    lines = [f"# bench {doc['label']} ({doc['timestamp']})"]
+    for key, value in sorted(doc["metrics"].items()):
+        lines.append(f"{key:40s} {value}")
+    comparison = doc.get("comparison")
+    if comparison:
+        lines.append("")
+        lines.append(f"vs {comparison['against']} "
+                     f"[{comparison.get('previous_label')}]  "
+                     "(>1.0 = faster now)")
+        for key, entry in sorted(comparison["ratios"].items()):
+            lines.append(f"{key:40s} {entry['speedup']:6.2f}x "
+                         f"(was {entry['previous']})")
+    return "\n".join(lines)
+
+
+def run_from_args(args) -> int:
+    from repro.perf.bench import run_bench  # deferred off CLI startup
+
+    doc = run_bench(quick=args.quick, label=args.label,
+                    out_dir=args.out_dir, no_compare=args.no_compare,
+                    log=lambda msg: print(f"[bench] {msg}",
+                                          file=sys.stderr))
+    print(render(doc))
+    print(f"\nbench results written to {doc['path']}", file=sys.stderr)
+    if not doc["metrics"].get("covert_trial_canary_ok", False):
+        print("bench: covert-trial canary FAILED -- simulation results "
+              "changed; do not trust these numbers", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="LeakyHammer simulator performance micro-suite")
+    add_bench_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

@@ -49,13 +49,10 @@ class MemorySystem:
     def submit(self, addr: int, callback: Callable[[Request], None],
                is_write: bool = False) -> Request:
         """Issue a request; the callback fires once the data returns to
-        the core, i.e., after the on-chip frontend latency."""
-        frontend = self.config.frontend_latency
-
-        def deliver(req: Request) -> None:
-            self.sim.schedule(frontend, lambda: callback(req))
-
-        return self.controller.submit(addr, deliver, is_write=is_write)
+        the core, i.e., after the on-chip frontend latency (which the
+        controller folds into the completion callback directly -- no
+        per-request relay event)."""
+        return self.controller.submit(addr, callback, is_write=is_write)
 
     def run_until(self, predicate: Callable[[], bool], step: int,
                   hard_limit: int) -> None:

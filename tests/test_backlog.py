@@ -1,0 +1,152 @@
+"""Backlog / overflow behavior of the memory controller.
+
+The active queue is bounded by ``SystemConfig.queue_size``; submissions
+beyond the bound wait in a FIFO backlog and are admitted one-for-one as
+active requests retire.  ``queue_high_water`` tracks the deepest total
+(active + backlog) the controller ever saw.
+"""
+
+import pytest
+
+from repro.sim.config import RefreshPolicy, SystemConfig
+from repro.system import MemorySystem
+
+
+def make_system(queue_size: int) -> MemorySystem:
+    return MemorySystem(SystemConfig(refresh_policy=RefreshPolicy.NONE,
+                                     queue_size=queue_size))
+
+
+class TestSaturation:
+    def test_active_queue_never_exceeds_queue_size(self):
+        system = make_system(queue_size=2)
+        controller = system.controller
+        for row in range(10):
+            system.submit(system.mapper.encode(row=row), lambda r: None)
+        # Before any service: 2 active, 8 backlogged.
+        assert controller._queue_len == 2
+        assert len(controller._backlog) == 8
+        assert controller.queued_requests == 10
+
+    def test_backlog_admits_one_per_service(self):
+        system = make_system(queue_size=2)
+        controller = system.controller
+        done = []
+        for row in range(6):
+            system.submit(system.mapper.encode(row=row), done.append)
+        # Run a single event (the scheduler wake): the one startable
+        # request is serviced and exactly one backlog entry admitted.
+        system.sim.run(max_events=1)
+        assert controller._queue_len == 2
+        assert len(controller._backlog) == 3
+        system.sim.run(until=50_000_000)
+        assert len(done) == 6
+        assert controller.queued_requests == 0
+        assert not controller._backlog
+
+    def test_all_requests_complete_under_saturation(self):
+        system = make_system(queue_size=1)
+        done = []
+        n = 12
+        for row in range(n):
+            system.submit(system.mapper.encode(row=row), done.append)
+        system.sim.run(until=100_000_000)
+        assert len(done) == n
+
+
+class TestDrainOrder:
+    def test_backlog_drains_fifo_into_service_order(self):
+        """Backlogged conflicting requests (distinct rows, one bank)
+        must complete in submission order: the backlog is FIFO and
+        FR-FCFS ties break by age."""
+        system = make_system(queue_size=2)
+        order = []
+        for i, row in enumerate(range(8)):
+            system.submit(system.mapper.encode(row=row),
+                          lambda r, i=i: order.append(i))
+        system.sim.run(until=100_000_000)
+        assert order == sorted(order)
+
+    def test_backlogged_hit_still_wins_after_admission(self):
+        """A row hit admitted from the backlog is favored by FR-FCFS
+        over an older conflicting request once both are active."""
+        system = make_system(queue_size=8)
+        mapper = system.mapper
+        hit_addr = mapper.encode(row=1)
+        done = []
+        system.submit(hit_addr, done.append)
+        system.sim.run(until=10_000_000)  # row 1 now open
+        order = []
+        system.controller.submit(mapper.encode(row=2),
+                                 lambda r: order.append("conflict"))
+        system.controller.submit(hit_addr + 64,
+                                 lambda r: order.append("hit"))
+        system.sim.run(until=20_000_000)
+        assert order == ["hit", "conflict"]
+
+
+class TestHighWater:
+    def test_high_water_counts_active_plus_backlog(self):
+        system = make_system(queue_size=2)
+        for row in range(7):
+            system.submit(system.mapper.encode(row=row), lambda r: None)
+        assert system.controller.queue_high_water == 7
+
+    def test_high_water_is_monotone(self):
+        system = make_system(queue_size=2)
+        for row in range(5):
+            system.submit(system.mapper.encode(row=row), lambda r: None)
+        system.sim.run(until=100_000_000)
+        before = system.controller.queue_high_water
+        system.submit(system.mapper.encode(row=40), lambda r: None)
+        system.sim.run(until=200_000_000)
+        assert system.controller.queue_high_water == before
+
+    def test_high_water_zero_requests(self):
+        system = make_system(queue_size=4)
+        assert system.controller.queue_high_water == 0
+
+
+class TestBusReservationPruning:
+    def test_reservations_stay_bounded(self):
+        """Regression: expired bus reservations must be pruned in bulk,
+        not only while the front entry happens to be expired."""
+        system = make_system(queue_size=32)
+        done = []
+        n = 200
+        state = {"i": 0}
+
+        def resubmit(req):
+            done.append(req)
+            if state["i"] < n:
+                state["i"] += 1
+                system.submit(
+                    system.mapper.encode(row=5, col=state["i"] % 64),
+                    resubmit)
+
+        system.submit(system.mapper.encode(row=5), resubmit)
+        system.sim.run(until=1_000_000_000)
+        assert len(done) == n + 1
+        assert len(system.controller._bus_starts) <= 2
+        assert (system.controller._bus_starts
+                == sorted(system.controller._bus_starts))
+        assert (system.controller._bus_ends
+                == sorted(system.controller._bus_ends))
+
+
+class TestWakeStaleness:
+    def test_rescheduling_earlier_wake_noops_stale_event(self):
+        """Arming an earlier wake leaves the later engine event in
+        place; when it fires it must be recognized as stale (no armed
+        time match) and do nothing."""
+        system = make_system(queue_size=8)
+        controller = system.controller
+        controller._schedule_wake(system.sim.now + 1_000_000)
+        assert controller._wake_at == 1_000_000
+        controller._schedule_wake(system.sim.now + 10_000)  # earlier wins
+        assert controller._wake_at == 10_000
+        # Two wake events pending; running past both must leave the
+        # controller disarmed with no error and no pending work.
+        system.sim.run(until=2_000_000)
+        assert controller._wake_at is None
+        assert controller.queued_requests == 0

@@ -1,0 +1,192 @@
+"""Tests for the engine's scheduling fast paths.
+
+The engine routes events across three lanes (immediate, FIFO, heap);
+these tests pin the contract that lane placement is invisible: global
+execution order is exactly ``(time, insertion sequence)`` regardless of
+which lane an event rides.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import NS, US, SimulationError, Simulator
+
+
+class TestScheduleCall:
+    def test_schedule_call_passes_argument(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_call(5 * NS, seen.append, "payload")
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_schedule_call_at_absolute(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_call_at(42, lambda arg: seen.append((sim.now, arg)), 7)
+        sim.run()
+        assert seen == [(42, 7)]
+
+    def test_schedule_call_at_past_raises(self):
+        sim = Simulator()
+        sim.run(until=100)
+        with pytest.raises(SimulationError):
+            sim.schedule_call_at(50, print, None)
+
+    def test_mixed_closure_and_call_events_interleave_by_seq(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_at(5, lambda: order.append("a"))
+        sim.schedule_call_at(5, order.append, "b")
+        sim.schedule_at(5, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestScheduleMany:
+    def test_batch_matches_loop_semantics(self):
+        sim = Simulator()
+        order = []
+        count = sim.schedule_many(
+            (t, lambda t=t: order.append(t)) for t in (10, 20, 20, 30))
+        assert count == 4
+        sim.run()
+        assert order == [10, 20, 20, 30]
+
+    def test_batch_out_of_order_times(self):
+        sim = Simulator()
+        order = []
+        sim.schedule_many((t, lambda t=t: order.append(t))
+                          for t in (30, 10, 20))
+        sim.run()
+        assert order == [10, 20, 30]
+
+    def test_batch_past_time_raises_and_keeps_earlier_entries(self):
+        sim = Simulator()
+        sim.run(until=100)
+        fired = []
+        with pytest.raises(SimulationError):
+            sim.schedule_many([(200, lambda: fired.append(200)),
+                               (50, lambda: fired.append(50))])
+        sim.run()
+        assert fired == [200]  # entries before the bad one survive
+
+
+class TestLaneEquivalence:
+    """Randomized schedules must execute exactly in (time, seq) order
+    no matter how they land across the three lanes."""
+
+    def test_randomized_order_matches_reference(self):
+        rng = random.Random(1234)
+        sim = Simulator()
+        executed = []
+        expected = []
+        seq = 0
+
+        def submit(at, tag):
+            sim.schedule_at(at, lambda: executed.append(tag))
+            expected.append((at, tag[1]))
+
+        # Phase 1: static schedule mixing far/near/now times.
+        for i in range(200):
+            at = rng.choice([0, 1, 5 * NS, rng.randrange(0, 2 * US)])
+            submit(at, ("static", seq)); seq += 1
+
+        # Phase 2: dynamic rescheduling from inside callbacks.
+        def chain(n):
+            executed.append(("chain", 10_000 + n))
+            expected.append((sim.now + (0 if n >= 5 else NS),
+                             10_000 + n + 1))
+            if n < 5:
+                sim.schedule(NS, lambda: chain(n + 1))
+
+        sim.schedule_at(US, lambda: chain(0))
+        expected.append((US, 10_000))
+
+        sim.run()
+        tags = [tag for tag in executed]
+        # Reference: stable sort of (time, insertion order).
+        assert len(tags) == 206
+        static = [t for t in tags if t[0] == "static"]
+        static_expected = sorted(
+            [(at, s) for (at, s) in
+             [(e[0], e[1]) for e in expected if e[1] < 10_000]],
+            key=lambda pair: (pair[0], pair[1]))
+        assert [s for _, s in static_expected] == [s for _, s in static]
+
+    def test_pending_events_spans_all_lanes(self):
+        sim = Simulator()
+        sim.schedule_at(10, lambda: None)     # fifo
+        sim.schedule_at(5, lambda: None)      # heap (before fifo tail)
+        sim.schedule_at(0, lambda: None)      # immediate (time == now)
+        assert sim.pending_events == 3
+        sim.run()
+        assert sim.pending_events == 0
+
+    def test_far_future_events_execute_in_order(self):
+        """Events beyond the FIFO admission horizon are heap-routed but
+        must still interleave correctly with near events."""
+        sim = Simulator()
+        order = []
+        sim.schedule_at(10 * US, lambda: order.append("far"))
+        sim.schedule_at(3, lambda: order.append("near"))
+        sim.schedule_at(10 * US, lambda: order.append("far2"))
+        sim.run()
+        assert order == ["near", "far", "far2"]
+
+    def test_run_until_then_resume_across_lanes(self):
+        sim = Simulator()
+        order = []
+        for at in (5, 10 * US, 7):
+            sim.schedule_at(at, lambda at=at: order.append(at))
+        sim.run(until=8)
+        assert order == [5, 7]
+        sim.run()
+        assert order == [5, 7, 10 * US]
+
+
+class TestRunSafety:
+    def test_nested_run_raises(self):
+        """run() is explicitly non-reentrant: the lane consumption state
+        lives in the outer frame, so a nested call must fail loudly
+        instead of re-executing consumed events."""
+        sim = Simulator()
+        errors = []
+
+        def evil():
+            try:
+                sim.run(until=sim.now)
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule_at(5, evil)
+        sim.schedule_at(5, lambda: None)
+        assert sim.run() == 2
+        assert len(errors) == 1
+        # The engine stays usable afterwards.
+        fired = []
+        sim.schedule(1, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+    def test_pending_events_accurate_inside_callbacks(self):
+        sim = Simulator()
+        seen = []
+        for t in range(5):
+            sim.schedule_at(t, lambda: seen.append(sim.pending_events))
+        sim.run()
+        assert seen == [4, 3, 2, 1, 0]
+
+    def test_pending_events_accurate_across_lanes_inside_callbacks(self):
+        sim = Simulator()
+        seen = []
+
+        def observe():
+            seen.append(sim.pending_events)
+
+        sim.schedule_at(10, observe)        # fifo
+        sim.schedule_at(5, observe)         # heap
+        sim.schedule_at(0, observe)         # immediate
+        sim.run()
+        assert seen == [2, 1, 0]

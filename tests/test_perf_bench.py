@@ -1,0 +1,117 @@
+"""Tests for the ``repro bench`` perf harness (quick scales only)."""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    BenchConfig,
+    collect_metrics,
+    compare,
+    find_previous,
+    run_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> BenchConfig:
+    return BenchConfig(engine_events=2_000, controller_requests=500,
+                       repeats=1, full_report=False)
+
+
+@pytest.fixture(scope="module")
+def metrics(tiny_config) -> dict:
+    return collect_metrics(tiny_config)
+
+
+class TestMetrics:
+    def test_suite_reports_all_quick_metrics(self, metrics):
+        assert set(metrics) == {
+            "engine_events_per_sec",
+            "controller_hit_requests_per_sec",
+            "controller_conflict_requests_per_sec",
+            "covert_trial_seconds",
+            "covert_trial_canary_ok",
+            "report_slice_seconds",
+        }
+
+    def test_rates_positive(self, metrics):
+        assert metrics["engine_events_per_sec"] > 0
+        assert metrics["controller_hit_requests_per_sec"] > 0
+        assert metrics["controller_conflict_requests_per_sec"] > 0
+
+    def test_canary_passes_on_faithful_simulator(self, metrics):
+        assert metrics["covert_trial_canary_ok"] is True
+
+
+class TestCompare:
+    def test_rates_and_durations_normalized_to_faster_is_gt_one(self):
+        current = {"metrics": {"engine_events_per_sec": 200,
+                               "covert_trial_seconds": 1.0}}
+        previous = {"metrics": {"engine_events_per_sec": 100,
+                                "covert_trial_seconds": 2.0}}
+        ratios = compare(current, previous)
+        assert ratios["engine_events_per_sec"]["speedup"] == 2.0
+        assert ratios["covert_trial_seconds"]["speedup"] == 2.0
+
+    def test_missing_and_non_numeric_metrics_skipped(self):
+        current = {"metrics": {"new_metric": 5, "canary_ok": True,
+                               "x_seconds": 1.0}}
+        previous = {"metrics": {"x_seconds": 0.0, "canary_ok": True}}
+        assert compare(current, previous) == {}
+
+
+class TestFindPrevious:
+    def test_quick_and_full_trajectories_do_not_mix(self, tmp_path):
+        import json as _json
+
+        (tmp_path / "BENCH_20250101T000000Z.json").write_text(
+            _json.dumps({"quick": False, "label": "full-old",
+                         "metrics": {}}))
+        (tmp_path / "BENCH_20250102T000000Z.json").write_text(
+            _json.dumps({"quick": True, "label": "quick-new",
+                         "metrics": {}}))
+        full = find_previous(tmp_path, quick=False)
+        quick = find_previous(tmp_path, quick=True)
+        assert full is not None and "20250101" in full.name
+        assert quick is not None and "20250102" in quick.name
+        # Unfiltered: latest file wins.
+        latest = find_previous(tmp_path)
+        assert latest is not None and "20250102" in latest.name
+
+    def test_corrupt_previous_skipped(self, tmp_path):
+        (tmp_path / "BENCH_20250101T000000Z.json").write_text("{not json")
+        assert find_previous(tmp_path, quick=True) is None
+
+
+class TestRunBench:
+    def test_writes_json_and_compares_to_previous(self, tmp_path,
+                                                  monkeypatch):
+        monkeypatch.setattr(
+            "repro.perf.bench.BenchConfig.quick",
+            classmethod(lambda cls: BenchConfig(
+                engine_events=2_000, controller_requests=500,
+                repeats=1, full_report=False)))
+        first = run_bench(quick=True, label="one", out_dir=tmp_path)
+        assert "comparison" not in first
+        path = find_previous(tmp_path)
+        assert path is not None
+        on_disk = json.loads(path.read_text())
+        assert on_disk["label"] == "one"
+        assert on_disk["metrics"]["covert_trial_canary_ok"] is True
+
+        second = run_bench(quick=True, label="two", out_dir=tmp_path)
+        assert second["comparison"]["previous_label"] == "one"
+        ratios = second["comparison"]["ratios"]
+        assert "engine_events_per_sec" in ratios
+        assert len(list(tmp_path.glob("BENCH_*.json"))) == 2
+
+    def test_no_compare_flag(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.perf.bench.BenchConfig.quick",
+            classmethod(lambda cls: BenchConfig(
+                engine_events=2_000, controller_requests=500,
+                repeats=1, full_report=False)))
+        run_bench(quick=True, out_dir=tmp_path)
+        doc = run_bench(quick=True, out_dir=tmp_path, no_compare=True)
+        assert "comparison" not in doc
