@@ -10,23 +10,23 @@
 
 The script then shows the security/performance trade-off: normalized
 weighted speedup of each mechanism at a comfortable (1024) and an
-extreme (64) RowHammer threshold.
+extreme (64) RowHammer threshold.  Experiments resolve through the
+registry (``repro.exp``), the same path as ``python -m repro run``.
 
 Run:  python examples/countermeasures.py   (takes a couple of minutes)
 """
 
-from repro.analysis.experiments import (
-    fig13_performance,
-    sec114_capacity_reduction,
-)
 from repro.core.leakage_model import demonstrate_leakage_matrix
+from repro.exp import run_experiment
 
 
 def main() -> None:
     print("channel capacity under countermeasures "
           "(30% ambient noise level):")
-    print(sec114_capacity_reduction(n_bits=16, noise_intensity=30.0)
-          .to_text())
+    sec114 = run_experiment(
+        "sec114", {"n_bits": 16, "noise_intensity": 30.0},
+        use_cache=False)
+    print(sec114.value.to_text())
 
     print("\nBank-Level PRAC containment (from the Table 3 demos):")
     for cell in demonstrate_leakage_matrix():
@@ -34,9 +34,11 @@ def main() -> None:
             print(f"  {cell.detail}")
 
     print("\nperformance at the extremes (normalized weighted speedup):")
-    out = fig13_performance(nrh_values=(1024, 64), n_mixes=2,
-                            n_requests=6000)
-    print(out["table"].to_text())
+    fig13 = run_experiment(
+        "fig13", {"nrh_values": (1024, 64), "n_mixes": 2,
+                  "n_requests": 6000},
+        use_cache=False)
+    print(fig13.value["table"].to_text())
 
 
 if __name__ == "__main__":

@@ -4,14 +4,16 @@
 Transmits a secret message between two colluding processes that share
 no memory -- only the DRAM channel -- first through PRAC back-offs,
 then through Periodic-RFM commands, and shows what noise does to each
-channel.
+channel.  Every transmission is a declarative scenario under the hood:
+``channel.scenario(bits)`` returns the full cast (sender, receiver,
+noise, victim apps) as serializable data.
 
 Run:  python examples/covert_channel.py
 """
 
 from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
-from repro.core.rfm_channel import RfmChannelConfig, RfmCovertChannel
-from repro.workloads.patterns import text_from_bits
+from repro.core.rfm_channel import RfmCovertChannel
+from repro.workloads.patterns import bits_from_text, text_from_bits
 
 SECRET = "MICRO"
 
@@ -33,6 +35,16 @@ def main() -> None:
     prac = PracCovertChannel()
     report("PRAC covert channel (25 us windows)",
            prac.transmit_text(SECRET))
+
+    # The same transmission as data: serialize the spec, ship it
+    # anywhere (a worker, a file, another machine), rebuild, run.
+    spec = prac.scenario(bits_from_text("HI"))
+    print(f"\nas a scenario spec: {len(spec.agents)} agents, "
+          f"cache_key {spec.cache_key()[:16]}..., "
+          f"{len(spec.to_json())} bytes of JSON")
+    rerun = spec.run()
+    print(f"replayed from data: {rerun.counters['backoffs']} back-offs "
+          f"at final_now={rerun.final_now} ps")
 
     # --- RFM-based channel: the receiver counts RFMs per window -------
     rfm = RfmCovertChannel()

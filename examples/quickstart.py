@@ -1,51 +1,56 @@
 #!/usr/bin/env python3
 """Quickstart: observe RowHammer-preventive actions from "userspace".
 
-Builds a DDR5 memory system protected by PRAC, runs the paper's
+Declares a scenario -- a PRAC-protected DDR5 system plus the paper's
 Listing-1 measurement loop (two alternating rows in one bank, flushed
-from the cache each iteration), and classifies every measured latency:
-row conflicts, periodic refreshes, and -- once the rows' activation
-counters reach N_BO -- the tell-tale ~1.4 us PRAC back-off that
-LeakyHammer builds its channels on.
+from the cache each iteration) -- as pure data, runs it, and reads the
+classified latencies back: row conflicts, periodic refreshes, and --
+once the rows' activation counters reach N_BO -- the tell-tale ~1.4 us
+PRAC back-off that LeakyHammer builds its channels on.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import DefenseKind, DefenseParams, MemorySystem, SystemConfig
-from repro.core.probe import EventKind, LatencyClassifier
-from repro.cpu.agent import run_agents
-from repro.cpu.probe import LatencyProbe
+from repro import DefenseKind, DefenseParams, SystemConfig
+from repro.core.probe import EventKind
+from repro.scenario import AgentSpec, MeasurementSpec, ScenarioSpec, StopSpec
 from repro.sim.engine import MS, NS
 
 
 def main() -> None:
-    # A PRAC-protected system with a back-off threshold of 128
-    # activations (the paper's Section 6 assumption).
-    config = SystemConfig(
-        defense=DefenseParams(kind=DefenseKind.PRAC, nbo=128))
-    system = MemorySystem(config)
+    # The whole experiment is one serializable spec: a PRAC system with
+    # a back-off threshold of 128 activations (the paper's Section 6
+    # assumption), one latency probe, a stop condition, and the
+    # measurement to collect.
+    spec = ScenarioSpec(
+        name="quickstart",
+        system=SystemConfig(
+            defense=DefenseParams(kind=DefenseKind.PRAC, nbo=128)),
+        agents=(AgentSpec("probe", params={
+            "bank": (0, 0), "rows": (0, 8), "max_samples": 512}),),
+        stop=StopSpec(hard_limit_ps=10 * MS),
+        measurements=(MeasurementSpec("latency-classes",
+                                      params={"agent": "probe"}),))
+    print(spec.describe())
 
-    # Two pointers in separate DRAM rows of one bank (Listing 1).
-    row_ptrs = system.mapper.same_bank_rows(2, bankgroup=0, bank=0,
-                                            first_row=0, stride=8)
-    probe = LatencyProbe(system, row_ptrs, max_samples=512)
-    run_agents(system, [probe], hard_limit=10 * MS)
-
-    classifier = LatencyClassifier(config)
-    print("expected latency levels:")
-    for level in classifier.levels:
+    built = spec.build()
+    print("\nexpected latency levels:")
+    for level in built.classifier.levels:
         print(f"  {level.kind.value:10s} ~{level.delta_ps / NS:7.1f} ns")
 
+    result = built.run()
     print("\nmeasured event histogram over 512 requests:")
-    for kind, count in classifier.histogram(probe.deltas).items():
-        print(f"  {kind.value:10s} x{count}")
+    for kind, entry in result.data["latency-classes"].items():
+        print(f"  {kind:10s} x{entry['count']}")
 
+    probe = result.agent("probe")
+    classifier = built.classifier
     backoffs = [i for i, s in enumerate(probe.samples)
                 if classifier.classify_sample(s) is EventKind.BACKOFF]
     print(f"\nback-offs observed at request indices {backoffs} "
           f"(expected every ~{2 * 128 - 1} requests)")
     print(f"ground truth: the memory system performed "
-          f"{system.stats.backoffs} back-off(s)")
+          f"{result.counters['backoffs']} back-off(s)")
 
 
 if __name__ == "__main__":

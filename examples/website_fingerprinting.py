@@ -25,6 +25,13 @@ def main() -> None:
     fingerprinter = WebsiteFingerprinter(cfg)
     catalog = WebsiteCatalog(N_SITES, seed=1)
 
+    # Each capture is a declarative scenario (probe + browser-trace
+    # replay); the spec is serializable data a sweep can ship anywhere.
+    first = next(iter(catalog))
+    spec = fingerprinter.scenario(first, trace_seed=1)
+    print(f"one capture as data: {len(spec.agents)} agents, "
+          f"cache_key {spec.cache_key()[:16]}...\n")
+
     print("fingerprint strips (back-offs per execution window):")
     for profile in list(catalog)[:3]:
         for trace_seed in (1, 2):

@@ -18,7 +18,21 @@ from repro.sim.config import (
 )
 from repro.system import MemorySystem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: Scenario-layer names resolved lazily (PEP 562) so ``import repro``
+#: stays cheap for CLI startup; ``from repro import ScenarioSpec`` works.
+_SCENARIO_EXPORTS = ("ScenarioSpec", "AgentSpec", "StopSpec",
+                     "MeasurementSpec", "ScenarioResult", "ScenarioError")
+
+
+def __getattr__(name: str):
+    if name in _SCENARIO_EXPORTS:
+        import repro.scenario as _scenario
+
+        return getattr(_scenario, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 
 __all__ = [
     "MemorySystem",
@@ -28,5 +42,6 @@ __all__ = [
     "DefenseParams",
     "DefenseKind",
     "RefreshPolicy",
+    *_SCENARIO_EXPORTS,
     "__version__",
 ]

@@ -2,14 +2,20 @@
 
 Subcommands::
 
-    python -m repro list                 # experiment catalog
-    python -m repro run fig4 --workers 8 # one experiment, parallel sweep
-    python -m repro report               # quick reproduction report
+    python -m repro list [--tag prac]     # experiment catalog
+    python -m repro run fig4 --workers 8  # one experiment, parallel sweep
+    python -m repro run fig4 --out r.json # persist tables + raw data
+    python -m repro report                # quick reproduction report
+    python -m repro scenario list         # scenario presets + kinds
+    python -m repro scenario describe prac-covert
+    python -m repro scenario run prac-probe -p system.defense.nbo=64
 
-``run`` goes through the on-disk result cache (``.repro-cache/`` or
-``$REPRO_CACHE_DIR``); ``--no-cache`` forces a fresh execution.
-Arbitrary driver parameters pass through ``-p key=value`` (values are
-parsed as JSON, falling back to strings).
+``run`` and ``scenario run`` go through the on-disk result cache
+(``.repro-cache/`` or ``$REPRO_CACHE_DIR``); ``--no-cache`` forces a
+fresh execution.  Arbitrary driver parameters pass through ``-p
+key=value`` (values are parsed as JSON, falling back to strings); for
+scenarios the key is a dotted path into the spec
+(``agents.0.params.max_samples=64``).
 
 For backwards compatibility, ``python -m repro`` with no subcommand
 behaves like ``report``.
@@ -62,6 +68,19 @@ def _scale_text(scale: dict) -> str:
     return ", ".join(f"{k}={v}" for k, v in scale.items()) or "-"
 
 
+def _json_safe(value):
+    """Reduce an experiment result to JSON-encodable raw data."""
+    from repro.exp.cache import canonicalize
+
+    return canonicalize(value)
+
+
+def _write_json(path: str, doc: dict) -> None:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
 @contextlib.contextmanager
 def _gc_paused():
     """Run simulations with the cyclic GC paused.
@@ -88,6 +107,13 @@ def _gc_paused():
 # ----------------------------------------------------------------------
 def cmd_list(args) -> int:
     specs = all_experiments()
+    if args.tag:
+        specs = [s for s in specs if args.tag in s.tags]
+        if not specs:
+            tags = sorted({t for s in all_experiments() for t in s.tags})
+            print(f"no experiment tagged {args.tag!r}; known tags: "
+                  f"{', '.join(tags)}", file=sys.stderr)
+            return 2
     if args.format == "md":
         print("| name | figure | parallel | paper claim |")
         print("|------|--------|----------|-------------|")
@@ -96,8 +122,9 @@ def cmd_list(args) -> int:
             print(f"| `{spec.name}` | {spec.figure} | {parallel} "
                   f"| {spec.claim} |")
         return 0
+    label = f" tagged '{args.tag}'" if args.tag else ""
     table = FigureTable(
-        f"Registered experiments ({len(specs)})",
+        f"Registered experiments{label} ({len(specs)})",
         ["name", "figure", "parallel", "default scale", "paper claim"])
     for spec in specs:
         table.add_row(spec.name, spec.figure,
@@ -133,6 +160,160 @@ def cmd_run(args) -> int:
             handle.write(rendered or str(run.value))
             handle.write("\n")
         print(f"result written to {args.save}", file=sys.stderr)
+    if args.out:
+        _write_json(args.out, {
+            "experiment": run.name,
+            "params": _json_safe(run.params),
+            "key": run.key,
+            "cached": run.cached,
+            "elapsed_s": run.elapsed_s,
+            "tables": [t.to_text() for t in iter_tables(run.value)],
+            "data": _json_safe(run.value),
+        })
+        print(f"json results written to {args.out}", file=sys.stderr)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Scenario subcommands
+# ----------------------------------------------------------------------
+def _load_scenario(args):
+    """Resolve the spec from a preset name or a JSON file, then apply
+    the ``-p`` dotted-path overrides."""
+    from repro.scenario import ScenarioSpec, get_preset
+
+    if args.file and args.preset:
+        raise ValueError(
+            f"both preset {args.preset!r} and --file {args.file!r} given; "
+            "name exactly one spec source")
+    if args.file:
+        with open(args.file) as handle:
+            spec = ScenarioSpec.from_json(handle.read())
+    elif args.preset:
+        spec = get_preset(args.preset)
+    else:
+        raise ValueError("name a preset or pass --file spec.json")
+    overrides = list(args.param or [])
+    if not overrides:
+        return spec
+    data = spec.to_dict()
+    for path, value in overrides:
+        _apply_override(data, path, value)
+    return ScenarioSpec.from_dict(data)
+
+
+def _apply_override(data, path: str, value) -> None:
+    """Set a dotted path inside the spec's dict form.
+
+    ``system.defense.nbo=64`` reaches into the system config,
+    ``agents.0.params.max_samples=128`` into an agent's params.  New
+    keys may be created at the final params level only; everything
+    else must already exist (typos fail loudly).
+    """
+    keys = path.split(".")
+    node = data
+    trail = []
+    for key in keys[:-1]:
+        trail.append(key)
+        try:
+            node = node[int(key)] if isinstance(node, list) else node[key]
+        except (KeyError, IndexError, ValueError):
+            raise ValueError(
+                f"override path {path!r}: no {'.'.join(trail)!r} in the "
+                "spec") from None
+    last = keys[-1]
+    if isinstance(node, list):
+        try:
+            node[int(last)] = value
+        except (IndexError, ValueError):
+            raise ValueError(
+                f"override path {path!r}: bad list index {last!r}") from None
+    elif isinstance(node, dict):
+        if last not in node and trail and trail[-1] != "params":
+            raise ValueError(
+                f"override path {path!r}: unknown field {last!r} "
+                f"(fields: {', '.join(node)})")
+        node[last] = value
+    else:
+        raise ValueError(f"override path {path!r}: cannot index into "
+                         f"{type(node).__name__}")
+
+
+def cmd_scenario_list(args) -> int:
+    from repro.scenario import (
+        agent_kinds,
+        measurement_kinds,
+        preset_names,
+    )
+
+    table = FigureTable("Scenario presets", ["preset", "description"])
+    for name, doc in preset_names().items():
+        table.add_row(name, doc)
+    print(table.to_text())
+
+    kinds = FigureTable("Agent kinds", ["kind", "description"])
+    for name, entry in sorted(agent_kinds().items()):
+        kinds.add_row(name, entry.doc)
+    print("\n" + kinds.to_text())
+
+    measures = FigureTable("Measurement kinds", ["kind", "description"])
+    for name, entry in sorted(measurement_kinds().items()):
+        measures.add_row(name, entry.doc)
+    print("\n" + measures.to_text())
+    return 0
+
+
+def cmd_scenario_describe(args) -> int:
+    from repro.scenario import ScenarioError
+
+    try:
+        spec = _load_scenario(args)
+    except (ScenarioError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(spec.describe())
+    if args.json:
+        print("\n" + spec.to_json())
+    return 0
+
+
+def cmd_scenario_run(args) -> int:
+    from repro.exp.runner import run_scenario
+    from repro.scenario import ScenarioError
+
+    try:
+        spec = _load_scenario(args)
+    except (ScenarioError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with _gc_paused():
+            run = run_scenario(spec, use_cache=not args.no_cache,
+                               cache_dir=args.cache_dir)
+    except (ScenarioError, ValueError, RuntimeError) as exc:
+        # ValueError: agent-class param validation (e.g. intensity out
+        # of Eq. 2's range); RuntimeError: hard-limit exceeded.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    value = run.value
+    print(f"scenario {value['name']!r}: final_now={value['final_now']} ps, "
+          f"stages at {value['stage_starts']}")
+    print("counters: " + json.dumps(value["counters"], sort_keys=True))
+    for label, payload in value["data"].items():
+        print(f"{label}: " + json.dumps(payload, sort_keys=True,
+                                        default=str))
+    source = "cache" if run.cached else f"ran in {run.elapsed_s:.1f}s"
+    print(f"\n[{spec.name}] result from {source} "
+          f"(key {run.key[:12]}...)", file=sys.stderr)
+    if args.out:
+        _write_json(args.out, {
+            "scenario": spec.to_dict(),
+            "key": run.key,
+            "cached": run.cached,
+            "elapsed_s": run.elapsed_s,
+            "result": value,
+        })
+        print(f"json results written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -203,6 +384,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_list.add_argument("--format", choices=("table", "md"),
                         default="table",
                         help="output format (md = markdown table)")
+    p_list.add_argument("--tag", default=None, metavar="TAG",
+                        help="only experiments carrying this registry tag "
+                             "(e.g. prac, sweep, side-channel)")
     p_list.set_defaults(func=cmd_list)
 
     p_run = sub.add_parser(
@@ -215,7 +399,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("-p", "--param", action="append",
                        type=_parse_param, metavar="KEY=VALUE",
                        help="driver parameter override (JSON value)")
+    p_run.add_argument("--out", metavar="PATH", default=None,
+                       help="persist results as JSON: rendered tables "
+                            "plus JSON-safe raw data")
     p_run.set_defaults(func=cmd_run)
+
+    p_scenario = sub.add_parser(
+        "scenario", help="describe/run declarative scenario specs")
+    scenario_sub = p_scenario.add_subparsers(dest="scenario_command",
+                                             required=True)
+
+    s_list = scenario_sub.add_parser(
+        "list", help="available presets, agent kinds, measurement kinds")
+    s_list.set_defaults(func=cmd_scenario_list)
+
+    def _add_scenario_source(parser) -> None:
+        parser.add_argument("preset", nargs="?", default=None,
+                            metavar="PRESET",
+                            help="preset name (see `scenario list`)")
+        parser.add_argument("--file", default=None, metavar="SPEC.json",
+                            help="load the spec from a JSON file instead")
+        parser.add_argument("-p", "--param", action="append",
+                            type=_parse_param, metavar="PATH=VALUE",
+                            help="dotted-path override into the spec, "
+                                 "e.g. system.defense.nbo=64 or "
+                                 "agents.0.params.max_samples=128")
+
+    s_describe = scenario_sub.add_parser(
+        "describe", help="print a spec (post-override) without running")
+    _add_scenario_source(s_describe)
+    s_describe.add_argument("--json", action="store_true",
+                            help="also print the full JSON spec")
+    s_describe.set_defaults(func=cmd_scenario_describe)
+
+    s_run = scenario_sub.add_parser(
+        "run", help="build + run a spec through the result cache")
+    _add_scenario_source(s_run)
+    s_run.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result cache")
+    s_run.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="result cache directory")
+    s_run.add_argument("--out", metavar="PATH", default=None,
+                       help="persist the spec + result core as JSON")
+    s_run.set_defaults(func=cmd_scenario_run)
 
     p_report = sub.add_parser(
         "report", help="run the quick reproduction report")

@@ -12,29 +12,45 @@ system with no RowHammer mitigation.
 
 from __future__ import annotations
 
-from repro.cpu.agent import run_agents
-from repro.cpu.app import AppSpec, SyntheticAppAgent
+import dataclasses
+
+from repro.cpu.app import AppSpec
+from repro.scenario.spec import (
+    AgentSpec,
+    MeasurementSpec,
+    ScenarioSpec,
+    StopSpec,
+)
 from repro.sim.config import SystemConfig
 from repro.sim.engine import MS
-from repro.system import MemorySystem
+
+
+def mix_scenario(config: SystemConfig, apps: list[AppSpec],
+                 hard_limit: int = 2_000 * MS) -> ScenarioSpec:
+    """Co-running apps on one memory system, per-app elapsed time as
+    the measurement -- the building block of both Fig. 13 phases."""
+    return ScenarioSpec(
+        name="workload-mix", system=config,
+        agents=tuple(AgentSpec("app", name=app.name,
+                               params={"spec": dataclasses.asdict(app)})
+                     for app in apps),
+        stop=StopSpec(hard_limit),
+        measurements=(MeasurementSpec("elapsed", params={
+            "agents": [app.name for app in apps]}),))
 
 
 def run_solo(config: SystemConfig, app: AppSpec,
              hard_limit: int = 2_000 * MS) -> int:
     """Elapsed time of one app running alone; returns picoseconds."""
-    system = MemorySystem(config)
-    agent = SyntheticAppAgent(system, app)
-    run_agents(system, [agent], hard_limit=hard_limit)
-    return agent.elapsed
+    result = mix_scenario(config, [app], hard_limit).run()
+    return result.data["elapsed"][app.name]
 
 
 def run_mix(config: SystemConfig, apps: list[AppSpec],
             hard_limit: int = 2_000 * MS) -> dict[str, int]:
     """Elapsed time per app when co-running on one memory system."""
-    system = MemorySystem(config)
-    agents = [SyntheticAppAgent(system, app) for app in apps]
-    run_agents(system, agents, hard_limit=hard_limit)
-    return {agent.name: agent.elapsed for agent in agents}
+    return dict(mix_scenario(config, apps, hard_limit).run()
+                .data["elapsed"])
 
 
 def weighted_speedup(alone: dict[str, int],

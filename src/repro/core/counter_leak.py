@@ -15,12 +15,9 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.probe import LatencyClassifier
-from repro.cpu.agent import run_agents
-from repro.cpu.probe import LatencyProbe, LatencySample
+from repro.scenario.spec import AgentSpec, ScenarioSpec, StopSpec
 from repro.sim.config import DefenseKind, DefenseParams, SystemConfig
 from repro.sim.engine import MS, SEC, US
-from repro.system import MemorySystem
 
 SHARED_ROW = 0
 VICTIM_ROW = 8
@@ -67,48 +64,49 @@ class CounterLeakAttack:
             seed=self.cfg.seed)
 
     # ------------------------------------------------------------------
+    def scenario(self, secret: int) -> ScenarioSpec:
+        """The two-phase protocol as data.
+
+        Stage 0 is the victim's alternating shared/private loop
+        (2*secret samples put exactly ``secret`` ACTs on the shared
+        row); stage 1 is the attacker hammering the already-aged
+        counters until its first observed back-off (``stop_on``).  Both
+        phases share one memory system, which is the whole point --
+        the counter state survives between stages.
+        """
+        bg, bank = LEAK_BANK
+        agents = []
+        if secret:
+            agents.append(AgentSpec("probe", name="victim", stage=0, params={
+                "bank": (bg, bank), "rows": (SHARED_ROW, VICTIM_ROW),
+                "max_samples": 2 * secret}))
+        agents.append(AgentSpec(
+            "probe", name="attacker", stage=1 if secret else 0, params={
+                "bank": (bg, bank), "rows": (SHARED_ROW, ATTACKER_ROW),
+                "max_samples": 6 * self.cfg.nbo,
+                "stop_on": ("backoff",)}))
+        return ScenarioSpec(
+            name="counter-leak", system=self.system_config(),
+            agents=tuple(agents), stop=StopSpec(5 * MS))
+
     def _run_phase(self, secret: int) -> tuple[int, int]:
         """Victim activates the shared row ``secret`` times, then the
         attacker hammers until the back-off.  Returns (attacker accesses
         to the shared row before the back-off, elapsed attacker time)."""
-        system = MemorySystem(self.system_config())
-        classifier = LatencyClassifier(system.config)
-        mapper = system.mapper
+        built = self.scenario(secret).build()
+        built.run()
+        attacker = built.agent("attacker")
         bg, bank = LEAK_BANK
-        shared = mapper.encode(bankgroup=bg, bank=bank, row=SHARED_ROW)
-        victim_private = mapper.encode(bankgroup=bg, bank=bank,
-                                       row=VICTIM_ROW)
-        attacker_private = mapper.encode(bankgroup=bg, bank=bank,
-                                         row=ATTACKER_ROW)
-
-        # Victim phase: alternate shared/private so every visit to the
-        # shared row is a fresh activation; 2*secret samples puts
-        # exactly `secret` ACTs on the shared row.
-        if secret:
-            victim = LatencyProbe(system, [shared, victim_private],
-                                  name="victim", max_samples=2 * secret)
-            run_agents(system, [victim], hard_limit=5 * MS)
-
-        attacker_start = system.sim.now
-        state = {"shared_accesses": 0, "backoff_at": None}
-
-        def watch(sample: LatencySample) -> None:
-            if sample.addr == shared:
-                state["shared_accesses"] += 1
-            if classifier.is_backoff(sample.delta) \
-                    and state["backoff_at"] is None:
-                state["backoff_at"] = sample.end_time
-                attacker.stop()
-
-        attacker = LatencyProbe(system, [shared, attacker_private],
-                                name="attacker", on_sample=watch,
-                                start_time=attacker_start,
-                                max_samples=6 * self.cfg.nbo)
-        run_agents(system, [attacker], hard_limit=attacker_start + 5 * MS)
-        if state["backoff_at"] is None:
+        shared = built.system.mapper.encode(bankgroup=bg, bank=bank,
+                                            row=SHARED_ROW)
+        is_backoff = built.classifier.is_backoff
+        backoff_at = next((s.end_time for s in attacker.samples
+                           if is_backoff(s.delta)), None)
+        if backoff_at is None:
             raise RuntimeError("attacker never observed a back-off")
-        elapsed = state["backoff_at"] - attacker_start
-        return state["shared_accesses"], elapsed
+        shared_accesses = sum(1 for s in attacker.samples
+                              if s.addr == shared)
+        return shared_accesses, backoff_at - attacker.start_time
 
     def calibrate(self) -> int:
         """Measure the constant protocol offset with a known secret of 0."""

@@ -23,14 +23,15 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     import numpy as np
 
 from repro.cache.hierarchy import CacheHierarchy, HierarchyConfig
-from repro.core.probe import EventKind, LatencyClassifier
-from repro.cpu.agent import run_agents
-from repro.cpu.app import SyntheticAppAgent, spec_like_app
-from repro.cpu.probe import LatencyProbe
-from repro.cpu.trace import TraceReplayAgent
+from repro.dram.address import AddressMapper
+from repro.scenario.spec import (
+    AgentSpec,
+    MeasurementSpec,
+    ScenarioSpec,
+    StopSpec,
+)
 from repro.sim.config import DefenseKind, DefenseParams, SystemConfig
 from repro.sim.engine import MS, US
-from repro.system import MemorySystem
 from repro.workloads.websites import WebsiteCatalog, WebsiteProfile
 
 #: Probe placement: a bank the synthetic browser phases rarely use for
@@ -122,47 +123,57 @@ class WebsiteFingerprinter:
                                   seed=self.cfg.seed),
             seed=self.cfg.seed)
 
+    def scenario(self, profile: WebsiteProfile,
+                 trace_seed: int) -> ScenarioSpec:
+        """One capture as data: probe + browser replay (+ SPEC noise).
+
+        The browser's (cache-filtered) access trace is materialized
+        into the spec, so a capture shipped to a worker process or the
+        CLI is pure data.
+        """
+        cfg = self.cfg
+        bg, bank = PROBE_BANK
+        mapper = AddressMapper(self.system_config().org)
+        browser_trace = profile.trace(cfg.duration_ps, trace_seed, mapper)
+        if cfg.hierarchy is not None:
+            browser_trace = self._filter_through_caches(browser_trace)
+        agents = [
+            # Listing 2: T accesses per row with T below the back-off
+            # threshold so the probe never triggers preventive actions.
+            AgentSpec("probe", name="fingerprint-probe", params={
+                "bank": (bg, bank),
+                "rows": [PROBE_FIRST_ROW + 8 * i
+                         for i in range(cfg.n_probe_rows)],
+                "accesses_per_addr": max(1, cfg.nbo - 1),
+                "stop_time": cfg.duration_ps}),
+            AgentSpec("trace", name="browser",
+                      params={"trace": browser_trace}),
+        ]
+        if cfg.spec_noise is not None:
+            agents.append(AgentSpec("app", name="spec-noise", params={
+                "intensity_class": cfg.spec_noise,
+                "seed": cfg.seed + trace_seed,
+                "banks": tuple((g, b) for g in range(4) for b in range(2)),
+                "n_requests": 10 ** 9, "stop_time": cfg.duration_ps}))
+        return ScenarioSpec(
+            name=f"fingerprint-{profile.name}", system=self.system_config(),
+            agents=tuple(agents),
+            stop=StopSpec(cfg.duration_ps + 500 * US),
+            measurements=(MeasurementSpec(
+                "backoff-times", params={"agent": "fingerprint-probe",
+                                         "clip_ps": cfg.duration_ps}),))
+
     def capture(self, profile: WebsiteProfile,
                 trace_seed: int) -> FingerprintTrace:
         """Simulate one browser load concurrently with the probe."""
         cfg = self.cfg
-        system = MemorySystem(self.system_config())
-        classifier = LatencyClassifier(system.config)
-        mapper = system.mapper
-        bg, bank = PROBE_BANK
-        probe_addrs = [
-            mapper.encode(bankgroup=bg, bank=bank,
-                          row=PROBE_FIRST_ROW + 8 * i)
-            for i in range(cfg.n_probe_rows)
-        ]
-        # Listing 2: T accesses per row with T below the back-off
-        # threshold so the probe never triggers preventive actions.
-        probe = LatencyProbe(system, probe_addrs, name="fingerprint-probe",
-                             accesses_per_addr=max(1, cfg.nbo - 1),
-                             stop_time=cfg.duration_ps)
-        browser_trace = profile.trace(cfg.duration_ps, trace_seed, mapper)
-        if cfg.hierarchy is not None:
-            browser_trace = self._filter_through_caches(browser_trace)
-        browser = TraceReplayAgent(system, browser_trace, name="browser")
-        agents = [probe, browser]
-        if cfg.spec_noise is not None:
-            banks = tuple((g, b) for g in range(4) for b in range(2))
-            spec = spec_like_app(cfg.spec_noise, "spec-noise",
-                                 seed=cfg.seed + trace_seed, banks=banks,
-                                 n_requests=10 ** 9)
-            agents.append(SyntheticAppAgent(system, spec,
-                                            stop_time=cfg.duration_ps))
-        run_agents(system, agents, hard_limit=cfg.duration_ps + 500 * US)
-
-        backoffs = [
-            min(max(s.end_time - s.delta // 2, 0), cfg.duration_ps)
-            for s in probe.samples
-            if classifier.classify(s.delta) is EventKind.BACKOFF
-        ]
+        result = self.scenario(profile, trace_seed).run()
+        observed = result.data["backoff-times"]
         return FingerprintTrace(
             website=profile.name, duration_ps=cfg.duration_ps,
-            backoff_times=backoffs, n_samples=len(probe.samples),
-            ground_truth_backoffs=system.stats.backoffs)
+            backoff_times=observed["times"],
+            n_samples=observed["n_samples"],
+            ground_truth_backoffs=result.counters["backoffs"])
 
     def _filter_through_caches(self, trace: list[tuple[int, int]]
                                ) -> list[tuple[int, int]]:

@@ -13,13 +13,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.counter_leak import CounterLeakAttack, CounterLeakConfig
-from repro.core.probe import EventKind, LatencyClassifier
-from repro.cpu.agent import run_agents
-from repro.cpu.noise import NoiseAgent
-from repro.cpu.probe import LatencyProbe
+from repro.core.probe import EventKind
+from repro.scenario.spec import (
+    AgentSpec,
+    MeasurementSpec,
+    ScenarioSpec,
+    StopSpec,
+)
 from repro.sim.config import DefenseKind, DefenseParams, SystemConfig
 from repro.sim.engine import NS, US
-from repro.system import MemorySystem
 
 
 @dataclass(frozen=True)
@@ -33,63 +35,56 @@ class LeakageCell:
     detail: str
 
 
+def observer_scenario(system: SystemConfig, victim_bank: tuple[int, int],
+                      observer_bank: tuple[int, int], victim_active: bool,
+                      duration: int, victim_sleep_ps: int,
+                      kinds: tuple[EventKind, ...],
+                      skip_first: int = 0) -> ScenarioSpec:
+    """Victim (hammering two rows of its bank) vs observer (timing
+    accesses to its own bank), with the observed-event count as the
+    measurement -- the shared shape of every Table 3 demonstration."""
+    agents = []
+    if victim_active:
+        agents.append(AgentSpec("noise", name="victim", params={
+            "bank": victim_bank, "rows": (0, 8),
+            "sleep_ps": victim_sleep_ps, "stop_time": duration}))
+    agents.append(AgentSpec("probe", name="observer", params={
+        "bank": observer_bank, "rows": (64,), "stop_time": duration}))
+    return ScenarioSpec(
+        name="leakage-observer", system=system, agents=tuple(agents),
+        stop=StopSpec(duration + 200 * US),
+        measurements=(MeasurementSpec("event-count", params={
+            "agent": "observer", "kinds": [k.value for k in kinds],
+            "skip_first": skip_first}),))
+
+
 def _observer_events(defense_kind: DefenseKind, victim_bank: tuple[int, int],
                      observer_bank: tuple[int, int], victim_active: bool,
                      duration: int = 60 * US,
                      kinds: tuple[EventKind, ...] = (EventKind.BACKOFF,
                                                      EventKind.RFM)) -> int:
-    """Run victim (hammering two rows of its bank) + observer (timing
-    accesses to its own bank); count preventive-action events the
-    observer's classifier reports."""
+    """Count preventive-action events the observer's classifier reports."""
     params = (DefenseParams(kind=defense_kind, nbo=64)
               if defense_kind is not DefenseKind.NONE
               else DefenseParams())
-    system = MemorySystem(SystemConfig(defense=params))
-    classifier = LatencyClassifier(system.config)
-    mapper = system.mapper
-    agents = []
-    if victim_active:
-        victim_rows = [mapper.encode(bankgroup=victim_bank[0],
-                                     bank=victim_bank[1], row=r)
-                       for r in (0, 8)]
-        agents.append(NoiseAgent(system, victim_rows, sleep_ps=50 * NS,
-                                 name="victim", stop_time=duration))
-    observer_addr = mapper.encode(bankgroup=observer_bank[0],
-                                  bank=observer_bank[1], row=64)
-    observer = LatencyProbe(system, [observer_addr], name="observer",
-                            stop_time=duration)
-    agents.append(observer)
-    run_agents(system, agents, hard_limit=duration + 200 * US)
-    return sum(1 for s in observer.samples
-               if classifier.classify(s.delta) in kinds)
+    spec = observer_scenario(SystemConfig(defense=params), victim_bank,
+                             observer_bank, victim_active, duration,
+                             victim_sleep_ps=50 * NS, kinds=kinds)
+    return spec.run().data["event-count"]
 
 
 def _drama_conflicts(same_bank: bool, victim_active: bool,
                      duration: int = 30 * US) -> int:
     """DRAMA-style observation: the observer re-reads one row and
     counts row-buffer conflicts caused by the victim."""
-    system = MemorySystem(SystemConfig())
-    classifier = LatencyClassifier(system.config)
-    mapper = system.mapper
-    agents = []
-    if victim_active:
-        victim_bank = (0, 0)
-        victim_rows = [mapper.encode(bankgroup=victim_bank[0],
-                                     bank=victim_bank[1], row=r)
-                       for r in (0, 8)]
-        agents.append(NoiseAgent(system, victim_rows, sleep_ps=500 * NS,
-                                 name="victim", stop_time=duration))
     obs_bank = (0, 0) if same_bank else (4, 2)
-    observer_addr = mapper.encode(bankgroup=obs_bank[0], bank=obs_bank[1],
-                                  row=64)
-    observer = LatencyProbe(system, [observer_addr], name="observer",
-                            stop_time=duration)
-    agents.append(observer)
-    run_agents(system, agents, hard_limit=duration + 200 * US)
     # Skip the first sample: the observer's initial access is a miss.
-    return sum(1 for s in observer.samples[1:]
-               if classifier.classify(s.delta) in (EventKind.CONFLICT,
-                                                   EventKind.REFRESH))
+    spec = observer_scenario(SystemConfig(), (0, 0), obs_bank,
+                             victim_active, duration,
+                             victim_sleep_ps=500 * NS,
+                             kinds=(EventKind.CONFLICT, EventKind.REFRESH),
+                             skip_first=1)
+    return spec.run().data["event-count"]
 
 
 def demonstrate_leakage_matrix() -> list[LeakageCell]:

@@ -18,23 +18,28 @@ from repro.core.covert import (
     TransmissionResult,
     WindowObservation,
     WindowedReceiver,
-    WindowedSender,
     bits_per_symbol,
 )
-from repro.core.probe import EventKind, LatencyClassifier
-from repro.cpu.agent import run_agents
-from repro.cpu.app import SyntheticAppAgent, spec_like_app
-from repro.cpu.noise import NoiseAgent
+from repro.core.probe import EventKind
+# Submodule import (not the repro.scenario package) keeps the
+# core <-> scenario import graph acyclic: the scenario registry's
+# builders import back into repro.core.
+from repro.scenario.spec import AgentSpec, ScenarioSpec, StopSpec
 from repro.sim.config import (
     DefenseKind,
     DefenseParams,
     RefreshPolicy,
     SystemConfig,
+    _dataclass_to_dict,
+    _from_flat_dict,
 )
 from repro.sim.engine import NS, US
 from repro.sim.stats import BlockKind
-from repro.system import MemorySystem
 from repro.workloads.patterns import bits_from_text
+
+#: Sentinel distinguishing "use the config's value" from an explicit
+#: ``None`` override in :meth:`PracCovertChannel.scenario`.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -76,6 +81,25 @@ class PracChannelConfig:
             return {0: None, 1: 80 * NS, 2: 40 * NS, 3: 0}
         raise ValueError("levels must be 2, 3, or 4 (or pass gap_table)")
 
+    def transmission_end(self, n_symbols: int) -> int:
+        """Wall-clock end of an ``n_symbols``-window transmission --
+        the single definition the scenario's stop condition, the
+        noise/app cutoffs, and the decoder's block query all share."""
+        return self.epoch + n_symbols * self.window_ps
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dict (worker hand-off, sweep points)."""
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PracChannelConfig":
+        data = dict(data)
+        data["refresh_policy"] = RefreshPolicy(data["refresh_policy"])
+        data["defense_kind"] = DefenseKind(data["defense_kind"])
+        data["gap_table"] = {int(k): v
+                             for k, v in data.get("gap_table", {}).items()}
+        return _from_flat_dict(cls, data)
+
 
 #: DRAM placement of the attack (all in one bank of bankgroup 0).
 SENDER_ROW = 0
@@ -108,40 +132,53 @@ class PracCovertChannel:
             base = base.with_(frontend_latency=cfg.frontend_latency_override)
         return base
 
+    def scenario(self, symbols: list[int], *,
+                 noise_intensity=_UNSET, spec_class=_UNSET) -> ScenarioSpec:
+        """The transmission as data: system + cast + stop condition.
+
+        The agent order (sender, receiver, noise, co-running app) and
+        every constructor parameter mirror the original imperative
+        assembly exactly, so building and running this spec is
+        bit-identical to the pre-scenario code path.
+        """
+        cfg = self.cfg
+        if noise_intensity is _UNSET:
+            noise_intensity = cfg.noise_intensity
+        if spec_class is _UNSET:
+            spec_class = cfg.spec_class
+        bg, bank = ATTACK_BANK
+        end = cfg.transmission_end(len(symbols))
+        agents = [
+            AgentSpec("sender", params={
+                "bank": (bg, bank), "rows": (SENDER_ROW,),
+                "symbols": symbols, "epoch": cfg.epoch,
+                "window_ps": cfg.window_ps, "gaps": cfg.gaps()}),
+            AgentSpec("receiver", params={
+                "bank": (bg, bank), "rows": (RECEIVER_ROW,),
+                "n_windows": len(symbols), "epoch": cfg.epoch,
+                "window_ps": cfg.window_ps, "sleep_on_backoff": True,
+                "jitter_ps": cfg.measurement_jitter_ps}),
+        ]
+        if noise_intensity is not None:
+            agents.append(AgentSpec("noise", params={
+                "bank": (bg, bank), "rows": NOISE_ROWS,
+                "intensity": noise_intensity, "stop_time": end}))
+        if spec_class is not None:
+            agents.append(AgentSpec("app", params={
+                "intensity_class": spec_class, "seed": cfg.seed + 11,
+                "n_requests": 10 ** 9, "stop_time": end}))
+        return ScenarioSpec(
+            name="prac-covert", system=self.system_config(),
+            agents=tuple(agents), stop=StopSpec(end + 200 * US),
+            resolution_ps=cfg.resolution_ps)
+
     def _build(self, symbols: list[int], noise_intensity: float | None,
                spec_class: str | None):
-        cfg = self.cfg
-        system = MemorySystem(self.system_config())
-        classifier = LatencyClassifier(system.config,
-                                       resolution_ps=cfg.resolution_ps)
-        bg, bank = ATTACK_BANK
-        mapper = system.mapper
-        sender_addr = mapper.encode(bankgroup=bg, bank=bank, row=SENDER_ROW)
-        receiver_addr = mapper.encode(bankgroup=bg, bank=bank,
-                                      row=RECEIVER_ROW)
-        end = cfg.epoch + len(symbols) * cfg.window_ps
-
-        sender = WindowedSender(system, sender_addr, symbols, cfg.epoch,
-                                cfg.window_ps, self.cfg.gaps(), classifier)
-        receiver = WindowedReceiver(system, receiver_addr, len(symbols),
-                                    cfg.epoch, cfg.window_ps, classifier,
-                                    sleep_on_backoff=True)
-        receiver.jitter_ps = cfg.measurement_jitter_ps
-        agents = [sender, receiver]
-        if noise_intensity is not None:
-            noise_addrs = [mapper.encode(bankgroup=bg, bank=bank, row=r)
-                           for r in NOISE_ROWS]
-            agents.append(NoiseAgent.for_intensity(
-                system, noise_addrs, noise_intensity, stop_time=end))
-        if spec_class is not None:
-            org = system.config.org
-            banks = tuple((g, b) for g in range(org.bankgroups)
-                          for b in range(org.banks_per_group))
-            spec = spec_like_app(spec_class, f"spec-{spec_class}",
-                                 seed=cfg.seed + 11, banks=banks,
-                                 n_requests=10 ** 9)
-            agents.append(SyntheticAppAgent(system, spec, stop_time=end))
-        return system, classifier, sender, receiver, agents, end
+        built = self.scenario(symbols, noise_intensity=noise_intensity,
+                              spec_class=spec_class).build()
+        return (built.system, built.classifier, built.agent("sender"),
+                built.agent("receiver"), built.agents,
+                self.cfg.transmission_end(len(symbols)))
 
     # ------------------------------------------------------------------
     def transmit(self, symbols: list[int]) -> TransmissionResult:
@@ -150,9 +187,11 @@ class PracCovertChannel:
         for s in symbols:
             if not 0 <= s < cfg.levels:
                 raise ValueError(f"symbol {s} outside alphabet")
-        system, _, _, receiver, agents, end = self._build(
-            symbols, cfg.noise_intensity, cfg.spec_class)
-        run_agents(system, agents, hard_limit=end + 200 * US)
+        built = self.scenario(symbols).build()
+        receiver = built.agent("receiver")
+        built.run()
+        system = built.system
+        end = cfg.transmission_end(len(symbols))
         decoded = self._decode(receiver)
         windows = [
             WindowObservation(
@@ -208,9 +247,9 @@ class PracCovertChannel:
         centers: list[float] = []
         for symbol in range(1, cfg.levels):
             pilot = [symbol] * 4
-            system, _, _, receiver, agents, end = pilot_channel._build(
-                pilot, None, None)
-            run_agents(system, agents, hard_limit=end + 200 * US)
+            built = pilot_channel.scenario(pilot).build()
+            receiver = built.agent("receiver")
+            built.run()
             offsets = [t for t in receiver.time_to_backoff if t is not None]
             if not offsets:
                 raise RuntimeError(

@@ -11,25 +11,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.covert import (
-    TransmissionResult,
-    WindowObservation,
-    WindowedReceiver,
-    WindowedSender,
-)
-from repro.core.probe import EventKind, LatencyClassifier
-from repro.cpu.agent import run_agents
-from repro.cpu.app import SyntheticAppAgent, spec_like_app
-from repro.cpu.noise import NoiseAgent
+from repro.core.covert import TransmissionResult, WindowObservation
+from repro.core.probe import EventKind
+from repro.scenario.spec import AgentSpec, ScenarioSpec, StopSpec
 from repro.sim.config import (
     DefenseKind,
     DefenseParams,
     RefreshPolicy,
     SystemConfig,
+    _dataclass_to_dict,
+    _from_flat_dict,
 )
 from repro.sim.engine import US
 from repro.sim.stats import BlockKind
-from repro.system import MemorySystem
 from repro.workloads.patterns import bits_from_text
 
 from repro.core.prac_channel import (
@@ -58,6 +52,21 @@ class RfmChannelConfig:
     defense_kind: DefenseKind = DefenseKind.PRFM
     frontend_latency_override: int | None = None
 
+    def transmission_end(self, n_bits: int) -> int:
+        """Wall-clock end of an ``n_bits``-window transmission."""
+        return self.epoch + n_bits * self.window_ps
+
+    def to_dict(self) -> dict:
+        """JSON-serializable dict (worker hand-off, sweep points)."""
+        return _dataclass_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RfmChannelConfig":
+        data = dict(data)
+        data["refresh_policy"] = RefreshPolicy(data["refresh_policy"])
+        data["defense_kind"] = DefenseKind(data["defense_kind"])
+        return _from_flat_dict(cls, data)
+
 
 class RfmCovertChannel:
     """Driver for the PRFM-based covert channel."""
@@ -79,41 +88,37 @@ class RfmCovertChannel:
             base = base.with_(frontend_latency=cfg.frontend_latency_override)
         return base
 
-    def _build(self, bits: list[int]):
+    def scenario(self, bits: list[int]) -> ScenarioSpec:
+        """The transmission as data (agent order and parameters mirror
+        the original imperative assembly exactly)."""
         cfg = self.cfg
-        system = MemorySystem(self.system_config())
-        classifier = LatencyClassifier(system.config,
-                                       resolution_ps=cfg.resolution_ps)
         bg, bank = ATTACK_BANK
-        mapper = system.mapper
-        sender_addr = mapper.encode(bankgroup=bg, bank=bank, row=SENDER_ROW)
-        receiver_addr = mapper.encode(bankgroup=bg, bank=bank,
-                                      row=RECEIVER_ROW)
-        end = cfg.epoch + len(bits) * cfg.window_ps
-
-        # The RFM sender hammers for the whole window (RFMs repeat, so
-        # there is no single event after which to stop).
-        sender = WindowedSender(system, sender_addr, bits, cfg.epoch,
-                                cfg.window_ps, {0: None, 1: 0}, classifier,
-                                stop_on_backoff=False)
-        receiver = WindowedReceiver(system, receiver_addr, len(bits),
-                                    cfg.epoch, cfg.window_ps, classifier,
-                                    sleep_on_backoff=False)
-        agents = [sender, receiver]
+        end = cfg.transmission_end(len(bits))
+        agents = [
+            # The RFM sender hammers for the whole window (RFMs repeat,
+            # so there is no single event after which to stop).
+            AgentSpec("sender", params={
+                "bank": (bg, bank), "rows": (SENDER_ROW,),
+                "symbols": bits, "epoch": cfg.epoch,
+                "window_ps": cfg.window_ps, "gaps": {0: None, 1: 0},
+                "stop_on_backoff": False}),
+            AgentSpec("receiver", params={
+                "bank": (bg, bank), "rows": (RECEIVER_ROW,),
+                "n_windows": len(bits), "epoch": cfg.epoch,
+                "window_ps": cfg.window_ps, "sleep_on_backoff": False}),
+        ]
         if cfg.noise_intensity is not None:
-            noise_addrs = [mapper.encode(bankgroup=bg, bank=bank, row=r)
-                           for r in NOISE_ROWS]
-            agents.append(NoiseAgent.for_intensity(
-                system, noise_addrs, cfg.noise_intensity, stop_time=end))
+            agents.append(AgentSpec("noise", params={
+                "bank": (bg, bank), "rows": NOISE_ROWS,
+                "intensity": cfg.noise_intensity, "stop_time": end}))
         if cfg.spec_class is not None:
-            org = system.config.org
-            banks = tuple((g, b) for g in range(org.bankgroups)
-                          for b in range(org.banks_per_group))
-            spec = spec_like_app(cfg.spec_class, f"spec-{cfg.spec_class}",
-                                 seed=cfg.seed + 11, banks=banks,
-                                 n_requests=10 ** 9)
-            agents.append(SyntheticAppAgent(system, spec, stop_time=end))
-        return system, classifier, sender, receiver, agents, end
+            agents.append(AgentSpec("app", params={
+                "intensity_class": cfg.spec_class, "seed": cfg.seed + 11,
+                "n_requests": 10 ** 9, "stop_time": end}))
+        return ScenarioSpec(
+            name="rfm-covert", system=self.system_config(),
+            agents=tuple(agents), stop=StopSpec(end + 200 * US),
+            resolution_ps=cfg.resolution_ps)
 
     # ------------------------------------------------------------------
     def transmit(self, bits: list[int]) -> TransmissionResult:
@@ -121,8 +126,11 @@ class RfmCovertChannel:
         for bit in bits:
             if bit not in (0, 1):
                 raise ValueError("RFM channel is binary")
-        system, _, _, receiver, agents, end = self._build(bits)
-        run_agents(system, agents, hard_limit=end + 200 * US)
+        built = self.scenario(bits).build()
+        receiver = built.agent("receiver")
+        built.run()
+        system = built.system
+        end = cfg.transmission_end(len(bits))
         decoded = [
             1 if receiver.events_of(k, EventKind.RFM) >= cfg.trecv else 0
             for k in range(len(bits))

@@ -2,7 +2,11 @@
 
 from repro.cpu.agent import Agent
 from repro.cpu.probe import LatencyProbe, LatencySample
-from repro.cpu.noise import NoiseAgent, sleep_for_noise_intensity
+from repro.cpu.noise import (
+    NoiseAgent,
+    RWNoiseAgent,
+    sleep_for_noise_intensity,
+)
 from repro.cpu.app import AppSpec, SyntheticAppAgent
 from repro.cpu.trace import TraceReplayAgent
 
@@ -11,6 +15,7 @@ __all__ = [
     "LatencyProbe",
     "LatencySample",
     "NoiseAgent",
+    "RWNoiseAgent",
     "sleep_for_noise_intensity",
     "AppSpec",
     "SyntheticAppAgent",

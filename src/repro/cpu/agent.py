@@ -2,7 +2,20 @@
 
 from __future__ import annotations
 
+import zlib
+
 from repro.system import MemorySystem
+
+
+def deterministic_seed(name: str, system_seed: int, salt: int) -> int:
+    """Per-agent RNG seed, stable across processes and Python versions.
+
+    crc32, not ``hash()``: str hashes are salted per process, which
+    would make seeded agent randomness (probe jitter, read/write mixes)
+    nondeterministic across workers and silently break the result
+    cache's same-key-same-value guarantee.
+    """
+    return (zlib.crc32(name.encode()) & 0xFFFF) ^ system_seed ^ salt
 
 
 class Agent:

@@ -6,11 +6,17 @@ duration from 2 us down to 0.2 us maps linearly onto the paper's
 noise-intensity axis:
 
     intensity = (1 - (sleep - min) / (max - min)) * 99 + 1
+
+:class:`RWNoiseAgent` extends the generator with a seeded read/write
+mix: real interfering applications write as well as read, and write
+draining perturbs the channel differently from pure activation noise.
 """
 
 from __future__ import annotations
 
-from repro.cpu.agent import Agent
+import random
+
+from repro.cpu.agent import Agent, deterministic_seed
 from repro.system import MemorySystem
 
 MIN_SLEEP_PS = 200_000  #: 0.2 us
@@ -82,7 +88,12 @@ class NoiseAgent(Agent):
         addr = self.addrs[self._idx]
         self._idx = (self._idx + 1) % len(self.addrs)
         self.requests_issued += 1
-        self._submit(addr, self._complete_cb)
+        self._submit(addr, self._complete_cb,
+                     is_write=self._next_is_write())
+
+    def _next_is_write(self) -> bool:
+        """Read/write decision hook, drawn once per issued access."""
+        return False
 
     def _complete(self, req) -> None:
         if self.done:
@@ -93,3 +104,30 @@ class NoiseAgent(Agent):
             return
         self._in_burst = 0
         self.sim.schedule(self.sleep_ps, self._issue_cb)
+
+
+class RWNoiseAgent(NoiseAgent):
+    """Noise generator issuing a seeded mix of reads and writes.
+
+    Each access is a write with probability ``write_ratio``, drawn from
+    a private RNG under the same cross-process determinism contract as
+    the probe's jitter RNG (see :func:`repro.cpu.agent.
+    deterministic_seed`).
+    """
+
+    def __init__(self, system: MemorySystem, addrs: list[int],
+                 sleep_ps: int, write_ratio: float = 0.5,
+                 name: str = "mixed-noise", **kwargs) -> None:
+        super().__init__(system, addrs, sleep_ps, name=name, **kwargs)
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ValueError("write_ratio must be within [0, 1]")
+        self.write_ratio = write_ratio
+        self.writes_issued = 0
+        self._rw_rng = random.Random(
+            deterministic_seed(name, system.config.seed, 0x52D7))
+
+    def _next_is_write(self) -> bool:
+        if self._rw_rng.random() < self.write_ratio:
+            self.writes_issued += 1
+            return True
+        return False

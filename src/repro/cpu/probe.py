@@ -12,10 +12,9 @@ what a userspace attacker measures with ``rdtsc``/``m5_rpns``.
 from __future__ import annotations
 
 import random
-import zlib
 from typing import Callable, NamedTuple
 
-from repro.cpu.agent import Agent
+from repro.cpu.agent import Agent, deterministic_seed
 from repro.system import MemorySystem
 
 
@@ -82,13 +81,8 @@ class LatencyProbe(Agent):
         self.accesses_per_addr = accesses_per_addr
         self.on_sample = on_sample
         self.jitter_ps = jitter_ps
-        # crc32, not hash(): str hashes are salted per process, which
-        # made jittered runs nondeterministic across processes (and
-        # silently broke the result cache's same-key-same-value
-        # guarantee for jittered experiments like fig11).
         self._jitter_rng = random.Random(
-            (zlib.crc32(name.encode()) & 0xFFFF) ^ system.config.seed
-            ^ 0x1177)
+            deterministic_seed(name, system.config.seed, 0x1177))
         self.samples: list[LatencySample] = []
         self._addr_idx = 0
         self._repeat = 0

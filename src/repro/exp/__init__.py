@@ -30,8 +30,11 @@ from repro.exp.runner import (
     ExperimentRun,
     derive_seed,
     experiment_key,
+    map_scenarios,
     map_trials,
     run_experiment,
+    run_scenario,
+    scenario_key,
     trials_executed,
 )
 
@@ -49,8 +52,11 @@ __all__ = [
     "experiment_key",
     "experiment_names",
     "get_experiment",
+    "map_scenarios",
     "map_trials",
     "run_experiment",
+    "run_scenario",
+    "scenario_key",
     "stable_key",
     "trials_executed",
 ]

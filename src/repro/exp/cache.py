@@ -57,6 +57,10 @@ def canonicalize(obj):
         return sorted(canonicalize(v) for v in obj)
     if isinstance(obj, bytes):
         return obj.hex()
+    # numpy arrays / scalars (duck-typed so numpy stays off the import
+    # path): canonicalize as nested lists.
+    if hasattr(obj, "tolist"):
+        return canonicalize(obj.tolist())
     # Callables / exotic objects: fall back to their qualified name so
     # keys stay deterministic (no memory addresses).
     name = getattr(obj, "__qualname__", None)

@@ -3,12 +3,10 @@
 from __future__ import annotations
 
 from repro.analysis.figures import FigureTable
-from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
-from repro.core.probe import EventKind, LatencyClassifier
-from repro.core.rfm_channel import RfmChannelConfig, RfmCovertChannel
-from repro.exp.drivers.common import evaluate_patterns
+from repro.core.probe import EventKind
+from repro.exp.drivers.common import pattern_sweep, prac_point, rfm_point
 from repro.exp.registry import experiment
-from repro.exp.runner import map_trials
+from repro.scenario.spec import ScenarioSpec
 from repro.sim.config import (
     DefenseKind,
     DefenseParams,
@@ -36,18 +34,14 @@ def ablation_refresh_postponing(n_samples: int = 512) -> FigureTable:
         config = SystemConfig(
             defense=DefenseParams(kind=DefenseKind.PRAC, nbo=128),
             refresh_policy=policy)
-        classifier = LatencyClassifier(config)
+        # An agent-less scenario spec still owns the configuration-
+        # derived classifier -- latency levels are a pure function of
+        # the system config, so no memory system is assembled.
+        classifier = ScenarioSpec(system=config).classifier()
         refresh = classifier.level_of(EventKind.REFRESH) / NS
         backoff = classifier.level_of(EventKind.BACKOFF) / NS
         table.add_row(policy.value, refresh, backoff, backoff - refresh)
     return table
-
-
-def _trecv_trial(point):
-    trecv, noise_intensity, n_bits = point
-    return evaluate_patterns(
-        lambda: RfmCovertChannel(RfmChannelConfig(
-            trecv=trecv, noise_intensity=noise_intensity)), n_bits)
 
 
 @experiment(
@@ -65,22 +59,15 @@ def ablation_trecv(trecv_values=(1, 2, 3, 4, 5),
         f"Ablation: RFM receiver threshold T_recv at "
         f"{noise_intensity:.0f}% noise",
         ["T_recv", "error probability", "capacity (Kbps)"])
-    results = map_trials(
-        _trecv_trial,
-        [(t, noise_intensity, n_bits) for t in trecv_values],
+    results = pattern_sweep(
+        [rfm_point(n_bits, trecv=t, noise_intensity=noise_intensity)
+         for t in trecv_values],
         workers=workers)
     for trecv, stats in zip(trecv_values, results):
         table.add_row(trecv, stats["error_probability"],
                       stats["capacity_bps"] / 1e3)
     table.add_note("the paper picks T_recv = 3")
     return table
-
-
-def _window_trial(point):
-    window_us, n_bits = point
-    return evaluate_patterns(
-        lambda: PracCovertChannel(PracChannelConfig(
-            window_ps=window_us * US)), n_bits)
 
 
 @experiment(
@@ -97,9 +84,9 @@ def ablation_window_size(windows_us=(15, 20, 25, 35, 50),
         "Ablation: PRAC channel window duration",
         ["window (us)", "raw rate (Kbps)", "error probability",
          "capacity (Kbps)"])
-    results = map_trials(_window_trial,
-                         [(w, n_bits) for w in windows_us],
-                         workers=workers)
+    results = pattern_sweep(
+        [prac_point(n_bits, window_ps=w * US) for w in windows_us],
+        workers=workers)
     for window_us, stats in zip(windows_us, results):
         table.add_row(window_us, stats["raw_bit_rate_bps"] / 1e3,
                       stats["error_probability"],

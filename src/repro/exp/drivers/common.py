@@ -1,9 +1,21 @@
-"""Helpers shared by the experiment drivers."""
+"""Helpers shared by the experiment drivers.
+
+The sweep drivers (Figs. 4/5/7/8/11/12, Sections 6.3/11.4, ablations)
+all fan the same shape of work out over the trial pool: build a covert
+channel from a config, transmit the standard patterns, report
+rate/error/capacity.  Instead of one bespoke module-level trial
+closure per figure, every sweep now sends *data* through
+:func:`repro.exp.runner.map_trials` -- a point is a plain dict naming
+the channel family and its serialized config
+(:func:`prac_point` / :func:`rfm_point`), and the two module-level
+trial functions below rebuild the channel inside the worker.
+"""
 
 from __future__ import annotations
 
 from repro.core.capacity import channel_capacity_bps
-from repro.workloads.patterns import standard_patterns
+from repro.exp.runner import map_trials
+from repro.workloads.patterns import random_symbols, standard_patterns
 
 #: Noise intensities swept by Figs. 4/7/11 (paper sweeps 1..100%).
 DEFAULT_INTENSITIES = (1, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
@@ -28,3 +40,66 @@ def evaluate_patterns(channel_factory, n_bits: int) -> dict:
         "capacity_bps": channel_capacity_bps(raw_rate, e),
         "bits": len(sent_all),
     }
+
+
+# ----------------------------------------------------------------------
+# Data-point sweeps: a trial is a dict, not a closure
+# ----------------------------------------------------------------------
+def prac_point(n_bits: int, **cfg_overrides) -> dict:
+    """One PRAC-channel sweep point as pure (picklable, hashable) data."""
+    from repro.core.prac_channel import PracChannelConfig
+
+    return {"channel": "prac",
+            "cfg": PracChannelConfig(**cfg_overrides).to_dict(),
+            "n_bits": n_bits}
+
+
+def rfm_point(n_bits: int, **cfg_overrides) -> dict:
+    """One RFM-channel sweep point as pure data."""
+    from repro.core.rfm_channel import RfmChannelConfig
+
+    return {"channel": "rfm",
+            "cfg": RfmChannelConfig(**cfg_overrides).to_dict(),
+            "n_bits": n_bits}
+
+
+def channel_from_point(point: dict):
+    """Rebuild the covert channel a sweep point describes."""
+    from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
+    from repro.core.rfm_channel import RfmChannelConfig, RfmCovertChannel
+
+    family = point["channel"]
+    if family == "prac":
+        return PracCovertChannel(PracChannelConfig.from_dict(point["cfg"]))
+    if family == "rfm":
+        return RfmCovertChannel(RfmChannelConfig.from_dict(point["cfg"]))
+    raise ValueError(f"unknown channel family {family!r}")
+
+
+def _pattern_trial(point: dict) -> dict:
+    """Shared trial: standard-pattern evaluation of one channel point."""
+    return evaluate_patterns(lambda: channel_from_point(point),
+                             point["n_bits"])
+
+
+def pattern_sweep(points: list[dict], *,
+                  workers: int | None = None) -> list[dict]:
+    """Run :func:`evaluate_patterns` over channel points, optionally in
+    parallel (bit-identical to serial; see ``map_trials``)."""
+    return map_trials(_pattern_trial, points, workers=workers)
+
+
+def _symbols_trial(point: dict) -> tuple:
+    """Shared trial: one random-symbol transmission of a channel point
+    (the Section 6.3 multibit study)."""
+    channel = channel_from_point(point)
+    symbols = random_symbols(point["n_symbols"], point["levels"],
+                             seed=point["symbol_seed"])
+    result = channel.transmit(symbols)
+    return (result.raw_bit_rate_bps, result.error_probability,
+            result.capacity_bps)
+
+
+def symbols_sweep(points: list[dict], *,
+                  workers: int | None = None) -> list[tuple]:
+    return map_trials(_symbols_trial, points, workers=workers)

@@ -17,10 +17,11 @@ from repro.analysis.speedup import (
     run_solo,
 )
 from repro.core.capacity import channel_capacity_bps
-from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
-from repro.core.probe import EventKind, LatencyClassifier
-from repro.core.rfm_channel import RfmChannelConfig, RfmCovertChannel
-from repro.exp.drivers.common import evaluate_patterns
+from repro.exp.drivers.common import (
+    pattern_sweep,
+    prac_point,
+    rfm_point,
+)
 from repro.exp.registry import experiment
 from repro.exp.runner import map_trials
 from repro.sim.config import (
@@ -29,27 +30,23 @@ from repro.sim.config import (
     SystemConfig,
 )
 from repro.sim.engine import US
-from repro.system import MemorySystem
 from repro.workloads.spec import apps_for_mix, make_workload_mixes
 
 
 # ----------------------------------------------------------------------
 # Section 11.4 -- countermeasure channel-capacity reduction
 # ----------------------------------------------------------------------
-def _sec114_trial(point):
-    variant, intensity, n_bits = point
+def _sec114_point(variant: str, intensity, n_bits: int) -> dict:
     if variant == "prac":
-        factory = lambda: PracCovertChannel(PracChannelConfig(  # noqa: E731
-            defense_kind=DefenseKind.PRAC, noise_intensity=intensity))
-    elif variant == "riac":
-        factory = lambda: PracCovertChannel(PracChannelConfig(  # noqa: E731
-            defense_kind=DefenseKind.PRAC_RIAC, noise_intensity=intensity))
-    elif variant == "frrfm":
-        factory = lambda: RfmCovertChannel(RfmChannelConfig(  # noqa: E731
-            defense_kind=DefenseKind.FRRFM, noise_intensity=intensity))
-    else:  # pragma: no cover - internal sweep definition
-        raise ValueError(f"unknown countermeasure variant {variant!r}")
-    return evaluate_patterns(factory, n_bits)
+        return prac_point(n_bits, defense_kind=DefenseKind.PRAC,
+                          noise_intensity=intensity)
+    if variant == "riac":
+        return prac_point(n_bits, defense_kind=DefenseKind.PRAC_RIAC,
+                          noise_intensity=intensity)
+    if variant == "frrfm":
+        return rfm_point(n_bits, defense_kind=DefenseKind.FRRFM,
+                         noise_intensity=intensity)
+    raise ValueError(f"unknown countermeasure variant {variant!r}")
 
 
 def _check_sec114(table) -> tuple[bool, str]:
@@ -79,16 +76,18 @@ def sec114_capacity_reduction(n_bits: int = 24,
     intensities = (None, noise_intensity)
     variants = (("PRAC (insecure)", "prac"), ("PRAC-RIAC", "riac"),
                 ("FR-RFM", "frrfm"))
-    points = [(key, intensity, n_bits)
-              for intensity in intensities for _, key in variants]
-    results = map_trials(_sec114_trial, points, workers=workers)
+    grid = [(key, intensity)
+            for intensity in intensities for _, key in variants]
+    results = pattern_sweep(
+        [_sec114_point(key, intensity, n_bits) for key, intensity in grid],
+        workers=workers)
 
-    by_point = dict(zip(points, results))
+    by_point = dict(zip(grid, results))
     for intensity in intensities:
         label = "none" if intensity is None else f"{intensity:.0f}%"
-        base_cap = by_point[("prac", intensity, n_bits)]["capacity_bps"]
+        base_cap = by_point[("prac", intensity)]["capacity_bps"]
         for name, key in variants:
-            stats = by_point[(key, intensity, n_bits)]
+            stats = by_point[(key, intensity)]
             reduction = (100.0 * (1.0 - stats["capacity_bps"] / base_cap)
                          if base_cap > 0 else 0.0)
             table.add_row(name, label, stats["error_probability"],
@@ -195,13 +194,13 @@ def sec12_para_resistance(n_bits: int = 16,
     We transmit a checkered message with the PRAC sender/receiver
     protocol against a PARA-protected system and decode windows by
     preventive-action counts; the decode should be near chance."""
-    from repro.core.covert import WindowedReceiver, WindowedSender
     from repro.core.prac_channel import (
         ATTACK_BANK,
         RECEIVER_ROW,
         SENDER_ROW,
     )
-    from repro.cpu.agent import run_agents
+    from repro.core.probe import EventKind
+    from repro.scenario.spec import AgentSpec, ScenarioSpec, StopSpec
     from repro.workloads.patterns import checkered_bits
 
     bits = checkered_bits(n_bits, 0)
@@ -211,19 +210,24 @@ def sec12_para_resistance(n_bits: int = 16,
 
     config = SystemConfig(defense=DefenseParams(
         kind=DefenseKind.PARA, para_probability=para_probability))
-    system = MemorySystem(config)
-    classifier = LatencyClassifier(config)
     bg, bank = ATTACK_BANK
-    sender_addr = system.mapper.encode(bankgroup=bg, bank=bank,
-                                       row=SENDER_ROW)
-    receiver_addr = system.mapper.encode(bankgroup=bg, bank=bank,
-                                         row=RECEIVER_ROW)
-    sender = WindowedSender(system, sender_addr, bits, epoch, window,
-                            {0: None, 1: 0}, classifier,
-                            stop_on_backoff=False)
-    receiver = WindowedReceiver(system, receiver_addr, len(bits), epoch,
-                                window, classifier)
-    run_agents(system, [sender, receiver], hard_limit=end + 200 * US)
+    spec = ScenarioSpec(
+        name="sec12-para", system=config,
+        agents=(
+            AgentSpec("sender", params={
+                "bank": (bg, bank), "rows": (SENDER_ROW,),
+                "symbols": bits, "epoch": epoch, "window_ps": window,
+                "gaps": {0: None, 1: 0}, "stop_on_backoff": False}),
+            AgentSpec("receiver", params={
+                "bank": (bg, bank), "rows": (RECEIVER_ROW,),
+                "n_windows": len(bits), "epoch": epoch,
+                "window_ps": window}),
+        ),
+        stop=StopSpec(end + 200 * US))
+    built = spec.build()
+    receiver = built.agent("receiver")
+    built.run()
+    classifier = built.classifier
 
     # Best-effort decode: a PARA refresh (192 ns) appears as an
     # off-level latency; count samples above the refresh midpoint.
@@ -245,7 +249,7 @@ def sec12_para_resistance(n_bits: int = 16,
         ["metric", "value"])
     table.add_row("PARA probability", para_probability)
     table.add_row("preventive actions during run",
-                  system.stats.para_refreshes)
+                  built.system.stats.para_refreshes)
     table.add_row("decode error probability", e)
     table.add_row("capacity (Kbps)", channel_capacity_bps(40_000.0, e) / 1e3)
     table.add_note("random triggers deny the attacker reliable "

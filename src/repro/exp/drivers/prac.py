@@ -1,25 +1,33 @@
 """PRAC-channel experiment drivers (Figs. 2-5, 11, 12; Section 6.3).
 
-Sweeps fan their independent simulator instances out through
-:func:`repro.exp.runner.map_trials`; every trial function is
-module-level so it pickles across worker processes, and a parallel run
-is bit-identical to the serial one.
+Every driver expresses its trial as data: single-run experiments build
+a :class:`~repro.scenario.spec.ScenarioSpec` (or take the channel's
+``scenario()``); sweeps send serialized channel points through the
+shared trial functions in :mod:`repro.exp.drivers.common`, so a
+parallel run ships dicts -- not closures -- to the workers and remains
+bit-identical to the serial one.
 """
 
 from __future__ import annotations
 
 from repro.analysis.figures import FigureTable
-from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
-from repro.core.probe import EventKind, LatencyClassifier
-from repro.cpu.agent import run_agents
-from repro.cpu.probe import LatencyProbe
-from repro.exp.drivers.common import DEFAULT_INTENSITIES, evaluate_patterns
+from repro.core.prac_channel import PracCovertChannel
+from repro.exp.drivers.common import (
+    DEFAULT_INTENSITIES,
+    evaluate_patterns,
+    pattern_sweep,
+    prac_point,
+    symbols_sweep,
+)
 from repro.exp.registry import experiment
-from repro.exp.runner import map_trials
+from repro.scenario.spec import (
+    AgentSpec,
+    MeasurementSpec,
+    ScenarioSpec,
+    StopSpec,
+)
 from repro.sim.config import DefenseKind, DefenseParams, RefreshPolicy, SystemConfig
-from repro.sim.engine import MS, NS, US
-from repro.system import MemorySystem
-from repro.workloads.patterns import random_symbols
+from repro.sim.engine import MS, NS
 
 
 # ----------------------------------------------------------------------
@@ -33,6 +41,20 @@ def _check_fig2(out) -> tuple[bool, str]:
             table.to_text())
 
 
+def fig2_scenario(n_samples: int, nbo: int) -> ScenarioSpec:
+    """The Fig. 2 measurement loop as data."""
+    return ScenarioSpec(
+        name="fig2-latency-observability",
+        system=SystemConfig(
+            defense=DefenseParams(kind=DefenseKind.PRAC, nbo=nbo)),
+        agents=(AgentSpec("probe", params={
+            "bank": (0, 0), "rows": (0, 8), "max_samples": n_samples}),),
+        stop=StopSpec(50 * MS),
+        measurements=(
+            MeasurementSpec("latency-classes", params={"agent": "probe"}),
+        ))
+
+
 @experiment(
     "fig2", figure="Fig. 2", aliases=("fig02",), tags=("prac", "probe"),
     claim="back-offs observable from userspace",
@@ -41,49 +63,34 @@ def _check_fig2(out) -> tuple[bool, str]:
 def fig2_latency_observability(n_samples: int = 512,
                                nbo: int = 128) -> dict:
     """Reproduce Fig. 2: the latency levels a measurement loop sees."""
-    config = SystemConfig(
-        defense=DefenseParams(kind=DefenseKind.PRAC, nbo=nbo))
-    system = MemorySystem(config)
-    addrs = system.mapper.same_bank_rows(2, bankgroup=0, bank=0,
-                                         first_row=0, stride=8)
-    probe = LatencyProbe(system, addrs, max_samples=n_samples)
-    run_agents(system, [probe], hard_limit=50 * MS)
-    classifier = LatencyClassifier(config)
-
-    by_kind: dict[EventKind, list[int]] = {}
-    first_backoff = None
-    for i, sample in enumerate(probe.samples):
-        kind = classifier.classify(sample.delta)
-        by_kind.setdefault(kind, []).append(sample.delta)
-        if kind is EventKind.BACKOFF and first_backoff is None:
-            first_backoff = i
+    result = fig2_scenario(n_samples, nbo).run()
+    classes = result.data["latency-classes"]
 
     table = FigureTable(
         "Fig. 2: memory request latencies under PRAC (N_BO="
         f"{nbo}, {n_samples} requests)",
         ["event", "count", "mean latency (ns)", "max latency (ns)"])
-    for kind in (EventKind.HIT, EventKind.CONFLICT, EventKind.REFRESH,
-                 EventKind.BACKOFF):
-        deltas = by_kind.get(kind, [])
-        if deltas:
-            table.add_row(kind.value, len(deltas),
-                          sum(deltas) / len(deltas) / NS,
-                          max(deltas) / NS)
-    conflict = by_kind.get(EventKind.CONFLICT, [0])
-    refresh = by_kind.get(EventKind.REFRESH)
-    backoff = by_kind.get(EventKind.BACKOFF)
+    for kind in ("hit", "conflict", "refresh", "backoff"):
+        entry = classes.get(kind)
+        if entry:
+            table.add_row(kind, entry["count"], entry["mean_ps"] / NS,
+                          entry["max_ps"] / NS)
+    refresh = classes.get("refresh")
+    backoff = classes.get("backoff")
     if refresh and backoff:
-        ratio = (sum(backoff) / len(backoff)) / (sum(refresh) / len(refresh))
+        ratio = backoff["mean_ps"] / refresh["mean_ps"]
         table.add_note(f"back-off latency is {ratio:.2f}x the periodic-"
                        "refresh latency (paper: 1.9x)")
+    first_backoff = backoff["first_index"] if backoff else None
     if first_backoff is not None:
         table.add_note(f"first back-off at request #{first_backoff} "
                        f"(expected ~{2 * nbo - 1})")
+    probe = result.agent("probe")
     return {
         "table": table,
         "samples": [(s.end_time, s.delta) for s in probe.samples],
         "first_backoff_index": first_backoff,
-        "ground_truth_backoffs": system.stats.backoffs,
+        "ground_truth_backoffs": result.counters["backoffs"],
     }
 
 
@@ -121,13 +128,6 @@ def fig3_prac_message(text: str = "MICRO", pattern_bits: int = 40) -> dict:
 # ----------------------------------------------------------------------
 # Fig. 4 -- capacity/error vs noise intensity
 # ----------------------------------------------------------------------
-def _fig4_trial(point):
-    intensity, n_bits = point
-    return evaluate_patterns(
-        lambda: PracCovertChannel(
-            PracChannelConfig(noise_intensity=intensity)), n_bits)
-
-
 @experiment(
     "fig4", figure="Fig. 4", aliases=("fig04",), tags=("prac", "sweep"),
     claim="PRAC covert-channel capacity degrades gracefully with noise",
@@ -138,9 +138,9 @@ def fig4_prac_noise_sweep(intensities=DEFAULT_INTENSITIES,
     table = FigureTable(
         "Fig. 4: PRAC covert channel vs noise intensity",
         ["noise intensity (%)", "error probability", "capacity (Kbps)"])
-    results = map_trials(_fig4_trial,
-                         [(i, n_bits) for i in intensities],
-                         workers=workers)
+    results = pattern_sweep(
+        [prac_point(n_bits, noise_intensity=i) for i in intensities],
+        workers=workers)
     for intensity, stats in zip(intensities, results):
         table.add_row(intensity, stats["error_probability"],
                       stats["capacity_bps"] / 1e3)
@@ -152,13 +152,6 @@ def fig4_prac_noise_sweep(intensities=DEFAULT_INTENSITIES,
 # ----------------------------------------------------------------------
 # Fig. 5 -- capacity/error vs co-running SPEC intensity
 # ----------------------------------------------------------------------
-def _fig5_trial(point):
-    cls, n_bits = point
-    return evaluate_patterns(
-        lambda: PracCovertChannel(PracChannelConfig(spec_class=cls)),
-        n_bits)
-
-
 @experiment(
     "fig5", figure="Fig. 5", aliases=("fig05",), tags=("prac", "sweep"),
     claim="PRAC channel survives co-running SPEC-like applications",
@@ -169,8 +162,9 @@ def fig5_prac_app_noise(n_bits: int = 24,
         "Fig. 5: PRAC covert channel vs SPEC-like memory intensity",
         ["memory intensity", "error probability", "capacity (Kbps)"])
     classes = ("L", "M", "H")
-    results = map_trials(_fig5_trial, [(c, n_bits) for c in classes],
-                         workers=workers)
+    results = pattern_sweep(
+        [prac_point(n_bits, spec_class=c) for c in classes],
+        workers=workers)
     for cls, stats in zip(classes, results):
         table.add_row(cls, stats["error_probability"],
                       stats["capacity_bps"] / 1e3)
@@ -181,16 +175,6 @@ def fig5_prac_app_noise(n_bits: int = 24,
 # ----------------------------------------------------------------------
 # Section 6.3 -- multibit covert channels
 # ----------------------------------------------------------------------
-def _sec63_trial(point):
-    levels, n_symbols, noise_intensity = point
-    channel = PracCovertChannel(PracChannelConfig(
-        levels=levels, noise_intensity=noise_intensity))
-    symbols = random_symbols(n_symbols, levels, seed=11)
-    result = channel.transmit(symbols)
-    return (result.raw_bit_rate_bps, result.error_probability,
-            result.capacity_bps)
-
-
 @experiment(
     "sec63", figure="Sec. 6.3", tags=("prac", "sweep"),
     claim="multibit alphabets trade noise tolerance for raw rate",
@@ -203,9 +187,11 @@ def sec63_multibit(n_symbols: int = 32,
         ["levels", "raw bit rate (Kbps)", "error probability",
          "capacity (Kbps)"])
     levels_swept = (2, 3, 4)
-    results = map_trials(
-        _sec63_trial,
-        [(levels, n_symbols, noise_intensity) for levels in levels_swept],
+    results = symbols_sweep(
+        [dict(prac_point(0, levels=levels,
+                         noise_intensity=noise_intensity),
+              n_symbols=n_symbols, levels=levels, symbol_seed=11)
+         for levels in levels_swept],
         workers=workers)
     for levels, (raw, err, cap) in zip(levels_swept, results):
         table.add_row(levels, raw / 1e3, err, cap / 1e3)
@@ -217,15 +203,6 @@ def sec63_multibit(n_symbols: int = 32,
 # ----------------------------------------------------------------------
 # Fig. 11 -- RFMs per back-off sensitivity
 # ----------------------------------------------------------------------
-def _fig11_trial(point):
-    n_rfms, intensity, n_bits, jitter_ps = point
-    return evaluate_patterns(
-        lambda: PracCovertChannel(PracChannelConfig(
-            n_rfms=n_rfms, noise_intensity=intensity,
-            measurement_jitter_ps=jitter_ps,
-            refresh_policy=RefreshPolicy.EVERY_TREFI)), n_bits)
-
-
 @experiment(
     "fig11", figure="Fig. 11", tags=("prac", "sweep"),
     claim="fewer RFMs per back-off overlap refresh latency and degrade "
@@ -244,10 +221,15 @@ def fig11_rfms_per_backoff(intensities=(1, 25, 50, 75, 100),
         "(no refresh postponing)",
         ["RFMs per back-off", "noise intensity (%)", "error probability",
          "capacity (Kbps)"])
-    points = [(n_rfms, intensity, n_bits, jitter_ps)
-              for n_rfms in (4, 2, 1) for intensity in intensities]
-    results = map_trials(_fig11_trial, points, workers=workers)
-    for (n_rfms, intensity, _, _), stats in zip(points, results):
+    grid = [(n_rfms, intensity)
+            for n_rfms in (4, 2, 1) for intensity in intensities]
+    results = pattern_sweep(
+        [prac_point(n_bits, n_rfms=n_rfms, noise_intensity=intensity,
+                    measurement_jitter_ps=jitter_ps,
+                    refresh_policy=RefreshPolicy.EVERY_TREFI)
+         for n_rfms, intensity in grid],
+        workers=workers)
+    for (n_rfms, intensity), stats in zip(grid, results):
         table.add_row(n_rfms, intensity, stats["error_probability"],
                       stats["capacity_bps"] / 1e3)
     table.add_note("shorter back-offs overlap the periodic-refresh "
@@ -258,13 +240,6 @@ def fig11_rfms_per_backoff(intensities=(1, 25, 50, 75, 100),
 # ----------------------------------------------------------------------
 # Fig. 12 -- preventive-action latency sweep
 # ----------------------------------------------------------------------
-def _fig12_trial(point):
-    latency_ns, n_bits = point
-    return evaluate_patterns(
-        lambda: PracCovertChannel(PracChannelConfig(
-            backoff_latency_override=latency_ns * NS)), n_bits)
-
-
 @experiment(
     "fig12", figure="Fig. 12", tags=("prac", "sweep"),
     claim="the channel survives preventive-action latencies down to ~10 ns",
@@ -277,9 +252,10 @@ def fig12_preventive_latency(latencies_ns=(0, 5, 10, 25, 50, 96, 150,
     table = FigureTable(
         "Fig. 12: channel vs preventive-action latency",
         ["latency (ns)", "error probability", "capacity (Kbps)"])
-    results = map_trials(_fig12_trial,
-                         [(latency, n_bits) for latency in latencies_ns],
-                         workers=workers)
+    results = pattern_sweep(
+        [prac_point(n_bits, backoff_latency_override=latency * NS)
+         for latency in latencies_ns],
+        workers=workers)
     for latency_ns, stats in zip(latencies_ns, results):
         table.add_row(latency_ns, stats["error_probability"],
                       stats["capacity_bps"] / 1e3)

@@ -1,12 +1,21 @@
-"""Periodic-RFM channel drivers (Figs. 6-8)."""
+"""Periodic-RFM channel drivers (Figs. 6-8).
+
+Sweeps send serialized channel points (see
+:mod:`repro.exp.drivers.common`) through the shared pattern trial, so
+a trial is data and parallel runs stay bit-identical to serial ones.
+"""
 
 from __future__ import annotations
 
 from repro.analysis.figures import FigureTable
-from repro.core.rfm_channel import RfmChannelConfig, RfmCovertChannel
-from repro.exp.drivers.common import DEFAULT_INTENSITIES, evaluate_patterns
+from repro.core.rfm_channel import RfmCovertChannel
+from repro.exp.drivers.common import (
+    DEFAULT_INTENSITIES,
+    evaluate_patterns,
+    pattern_sweep,
+    rfm_point,
+)
 from repro.exp.registry import experiment
-from repro.exp.runner import map_trials
 
 
 # ----------------------------------------------------------------------
@@ -43,13 +52,6 @@ def fig6_rfm_message(text: str = "MICRO", pattern_bits: int = 40) -> dict:
 # ----------------------------------------------------------------------
 # Fig. 7 -- capacity/error vs noise intensity
 # ----------------------------------------------------------------------
-def _fig7_trial(point):
-    intensity, n_bits = point
-    return evaluate_patterns(
-        lambda: RfmCovertChannel(
-            RfmChannelConfig(noise_intensity=intensity)), n_bits)
-
-
 @experiment(
     "fig7", figure="Fig. 7", aliases=("fig07",), tags=("rfm", "sweep"),
     claim="RFM channel knee arrives at lower noise than the PRAC channel",
@@ -60,9 +62,9 @@ def fig7_rfm_noise_sweep(intensities=DEFAULT_INTENSITIES,
     table = FigureTable(
         "Fig. 7: RFM covert channel vs noise intensity",
         ["noise intensity (%)", "error probability", "capacity (Kbps)"])
-    results = map_trials(_fig7_trial,
-                         [(i, n_bits) for i in intensities],
-                         workers=workers)
+    results = pattern_sweep(
+        [rfm_point(n_bits, noise_intensity=i) for i in intensities],
+        workers=workers)
     for intensity, stats in zip(intensities, results):
         table.add_row(intensity, stats["error_probability"],
                       stats["capacity_bps"] / 1e3)
@@ -75,13 +77,6 @@ def fig7_rfm_noise_sweep(intensities=DEFAULT_INTENSITIES,
 # ----------------------------------------------------------------------
 # Fig. 8 -- capacity/error vs co-running SPEC intensity
 # ----------------------------------------------------------------------
-def _fig8_trial(point):
-    cls, n_bits = point
-    return evaluate_patterns(
-        lambda: RfmCovertChannel(RfmChannelConfig(spec_class=cls)),
-        n_bits)
-
-
 @experiment(
     "fig8", figure="Fig. 8", aliases=("fig08",), tags=("rfm", "sweep"),
     claim="RFM channel survives co-running SPEC-like applications",
@@ -92,8 +87,9 @@ def fig8_rfm_app_noise(n_bits: int = 24,
         "Fig. 8: RFM covert channel vs SPEC-like memory intensity",
         ["memory intensity", "error probability", "capacity (Kbps)"])
     classes = ("L", "M", "H")
-    results = map_trials(_fig8_trial, [(c, n_bits) for c in classes],
-                         workers=workers)
+    results = pattern_sweep(
+        [rfm_point(n_bits, spec_class=c) for c in classes],
+        workers=workers)
     for cls, stats in zip(classes, results):
         table.add_row(cls, stats["error_probability"],
                       stats["capacity_bps"] / 1e3)

@@ -116,6 +116,60 @@ def map_trials(fn: Callable, points: Iterable, *,
 
 
 # ----------------------------------------------------------------------
+# Scenario fan-out: a trial is a spec, not a closure
+# ----------------------------------------------------------------------
+def _scenario_trial(point: dict) -> dict:
+    """Module-level trampoline: rebuild the spec inside the worker, run
+    it, and ship the serializable result core back."""
+    from repro.scenario.spec import ScenarioSpec
+
+    return ScenarioSpec.from_dict(point).run().to_dict()
+
+
+def map_scenarios(specs, *, workers: int | None = None) -> list[dict]:
+    """Run scenario specs over the trial pool; results in spec order.
+
+    Accepts :class:`~repro.scenario.spec.ScenarioSpec` instances or
+    their dict form; each worker receives pure data and returns the
+    JSON-safe ``ScenarioResult.to_dict()`` core.  Parallel fan-out is
+    bit-identical to serial because a spec fully determines its
+    simulation.
+    """
+    points = [spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+              for spec in specs]
+    return map_trials(_scenario_trial, points, workers=workers)
+
+
+def scenario_key(spec) -> str:
+    """Result-cache key of one scenario run: the spec's own stable hash
+    plus the source-tree fingerprint (edits invalidate cached runs)."""
+    return stable_key({"scenario": spec.to_dict(),
+                       "code": code_fingerprint()})
+
+
+def run_scenario(spec, *, use_cache: bool = True,
+                 cache: ResultCache | None = None,
+                 cache_dir: str | None = None) -> "ExperimentRun":
+    """Execute one scenario spec through the result cache.
+
+    The returned :class:`ExperimentRun` carries the serializable result
+    core (``ScenarioResult.to_dict()``) as its value, so cache hits and
+    fresh runs are interchangeable.
+    """
+
+    def compute():
+        global _trials_executed
+        value = spec.run().to_dict()
+        _trials_executed += 1
+        return value
+
+    return _through_cache(spec.name, scenario_key(spec),
+                          {"scenario": spec.name}, compute,
+                          use_cache=use_cache, cache=cache,
+                          cache_dir=cache_dir)
+
+
+# ----------------------------------------------------------------------
 # Cached experiment execution
 # ----------------------------------------------------------------------
 @dataclass
@@ -133,6 +187,32 @@ class ExperimentRun:
 
 class ExperimentParamError(TypeError):
     """Parameters do not match the experiment driver's signature."""
+
+
+def _through_cache(name: str, key: str, params: dict, compute,
+                   *, use_cache: bool, cache: ResultCache | None,
+                   cache_dir: str | None) -> ExperimentRun:
+    """Shared get-or-compute-and-put core of every cached run.
+
+    ``compute`` produces the value; trials are counted via the
+    process-local :func:`trials_executed` delta around it.
+    """
+    if use_cache and cache is None:
+        cache = ResultCache(cache_dir)
+    if use_cache:
+        hit, value = cache.get(key)
+        if hit:
+            return ExperimentRun(name, value, cached=True, trials=0,
+                                 elapsed_s=0.0, key=key, params=params)
+    before = trials_executed()
+    start = time.perf_counter()
+    value = compute()
+    elapsed = time.perf_counter() - start
+    trials = trials_executed() - before
+    if use_cache:
+        cache.put(key, value)
+    return ExperimentRun(name, value, cached=False, trials=trials,
+                         elapsed_s=elapsed, key=key, params=params)
 
 
 def experiment_key(spec: ExperimentSpec, params: dict) -> str:
@@ -187,24 +267,10 @@ def run_experiment(name: str, params: dict | None = None, *,
                 f"experiment {spec.name!r} takes no seed; --seed ignored",
                 RuntimeWarning, stacklevel=2)
 
-    key = experiment_key(spec, params)
-    if use_cache and cache is None:
-        cache = ResultCache(cache_dir)
-    if use_cache:
-        hit, value = cache.get(key)
-        if hit:
-            return ExperimentRun(spec.name, value, cached=True, trials=0,
-                                 elapsed_s=0.0, key=key, params=params)
-
     call_params = dict(params)
     if workers is not None and "workers" in signature.parameters:
         call_params["workers"] = workers
-    before = trials_executed()
-    start = time.perf_counter()
-    value = spec.fn(**call_params)
-    elapsed = time.perf_counter() - start
-    trials = trials_executed() - before
-    if use_cache:
-        cache.put(key, value)
-    return ExperimentRun(spec.name, value, cached=False, trials=trials,
-                         elapsed_s=elapsed, key=key, params=params)
+    return _through_cache(spec.name, experiment_key(spec, params), params,
+                          lambda: spec.fn(**call_params),
+                          use_cache=use_cache, cache=cache,
+                          cache_dir=cache_dir)

@@ -49,6 +49,7 @@ class BenchConfig:
 
     engine_events: int = 300_000
     controller_requests: int = 25_000
+    scenario_builds: int = 300
     repeats: int = 3
     #: Include the full ``python -m repro report --no-cache`` subprocess
     #: wall measurement (skipped by ``--quick``).
@@ -57,7 +58,7 @@ class BenchConfig:
     @classmethod
     def quick(cls) -> "BenchConfig":
         return cls(engine_events=60_000, controller_requests=6_000,
-                   repeats=1, full_report=False)
+                   scenario_builds=50, repeats=1, full_report=False)
 
 
 # ----------------------------------------------------------------------
@@ -136,6 +137,47 @@ def _bench_covert_trial() -> tuple[float, dict]:
                and result.ground_truth_backoffs == CANARY_BACKOFFS),
     }
     return elapsed, canary
+
+
+def _pinned_scenario():
+    """A fixed probe scenario exercising the declarative layer end to
+    end (spec round-trip, registry resolution, build, run)."""
+    from repro.scenario import AgentSpec, ScenarioSpec, StopSpec
+    from repro.sim.config import DefenseKind, DefenseParams
+
+    return ScenarioSpec(
+        name="bench-probe",
+        system=SystemConfig(
+            defense=DefenseParams(kind=DefenseKind.PRAC, nbo=64)),
+        agents=(AgentSpec("probe", params={
+            "bank": (0, 0), "rows": (0, 8), "max_samples": 400}),),
+        stop=StopSpec(50_000_000_000))
+
+
+def _bench_scenario_build(n_builds: int) -> float:
+    """Declarative-layer overhead: (to_dict -> from_dict -> build)
+    cycles per second -- what a sharded sweep pays per shipped trial
+    before any simulation runs."""
+    from repro.scenario import ScenarioSpec
+
+    spec = _pinned_scenario()
+    start = time.perf_counter()
+    for _ in range(n_builds):
+        ScenarioSpec.from_dict(spec.to_dict()).build()
+    elapsed = time.perf_counter() - start
+    return n_builds / elapsed
+
+
+def _bench_scenario_trial() -> float:
+    """One pinned probe scenario, spec-to-result (build + run +
+    measurement collection)."""
+    spec = _pinned_scenario()
+    start = time.perf_counter()
+    result = spec.run()
+    elapsed = time.perf_counter() - start
+    if len(result.agent("probe").samples) != 400:  # pragma: no cover
+        raise RuntimeError("scenario bench did not complete")
+    return elapsed
 
 
 def _bench_report_slice() -> float:
@@ -221,6 +263,15 @@ def _collect_metrics_inner(config, metrics, log):
         times.append(elapsed)
     metrics["covert_trial_seconds"] = round(min(times), 4)
     metrics["covert_trial_canary_ok"] = bool(canary.get("ok"))
+
+    log("scenario: spec round-trip + build ...")
+    rates = _best(lambda: _bench_scenario_build(config.scenario_builds),
+                  config.repeats)
+    metrics["scenario_build_per_sec"] = round(max(rates))
+
+    log("scenario: pinned probe trial ...")
+    times = _best(_bench_scenario_trial, config.repeats)
+    metrics["scenario_trial_seconds"] = round(min(times), 4)
 
     log("report slice: fig3 (no cache) ...")
     times = _best(_bench_report_slice, config.repeats)

@@ -1,0 +1,46 @@
+"""Declarative scenarios: system + agents + measurement, as data.
+
+The package redesigns experiment construction around serializable
+specs (see :mod:`repro.scenario.spec` for the full story)::
+
+    spec = ScenarioSpec(system=..., agents=(AgentSpec("probe", ...),),
+                        stop=StopSpec(...), measurements=(...))
+    result = spec.run()          # -> typed ScenarioResult
+    payload = spec.to_dict()     # JSON round-trip / worker hand-off
+    key = spec.cache_key()       # stable across processes
+
+Agent kinds resolve through :mod:`repro.scenario.registry`
+(``probe``, ``noise``, ``sender``, ``receiver``, ``app``, ``trace``,
+``multi-probe``, ``mixed-noise``); measurement kinds through
+:mod:`repro.scenario.measure`.
+"""
+
+from repro.scenario.build import BuiltScenario, build
+from repro.scenario.measure import measurement, measurement_kinds
+from repro.scenario.presets import get_preset, preset_names
+from repro.scenario.registry import agent_kind, agent_kinds
+from repro.scenario.result import ScenarioResult
+from repro.scenario.spec import (
+    AgentSpec,
+    MeasurementSpec,
+    ScenarioError,
+    ScenarioSpec,
+    StopSpec,
+)
+
+__all__ = [
+    "AgentSpec",
+    "BuiltScenario",
+    "MeasurementSpec",
+    "ScenarioError",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "StopSpec",
+    "agent_kind",
+    "agent_kinds",
+    "build",
+    "get_preset",
+    "measurement",
+    "measurement_kinds",
+    "preset_names",
+]

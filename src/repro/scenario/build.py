@@ -1,0 +1,120 @@
+"""Scenario assembly and execution.
+
+:func:`build` turns a :class:`~repro.scenario.spec.ScenarioSpec` into a
+:class:`BuiltScenario`: one :class:`~repro.system.MemorySystem`, one
+shared :class:`~repro.core.probe.LatencyClassifier`, and the agents of
+the spec's first stage, constructed *in spec order* (construction and
+start order pin event-queue tie-breaks, so a scenario build is
+bit-identical to the imperative assembly it replaced).  Later stages
+are assembled lazily when execution reaches them, on the same aged
+system -- their agents may anchor ``start_time`` to "now".
+
+:meth:`BuiltScenario.run` executes every stage with exactly the
+semantics of :func:`repro.cpu.agent.run_agents` (start all, advance in
+deadline/100 chunks until every agent reports done, raise past the
+hard limit), then runs the spec's measurement collectors.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.agent import Agent
+from repro.scenario.registry import BuildContext, build_agents
+from repro.scenario.result import ScenarioResult
+from repro.scenario.spec import ScenarioError, ScenarioSpec
+from repro.system import MemorySystem
+
+
+class BuiltScenario:
+    """A spec resolved into live simulation objects, ready to run."""
+
+    def __init__(self, spec: ScenarioSpec, sim=None) -> None:
+        self.spec = spec
+        self.system = MemorySystem(spec.system, sim=sim)
+        self.classifier = spec.classifier()
+        self.agents: list[Agent] = []
+        self.by_name: dict[str, Agent] = {}
+        self._stage_agents: dict[int, list[Agent]] = {}
+        self._ran = False
+        if spec.stages:
+            self._build_stage(spec.stages[0])
+
+    # ------------------------------------------------------------------
+    def _build_stage(self, stage: int) -> list[Agent]:
+        ctx = BuildContext(system=self.system, classifier=self.classifier,
+                           now=self.system.sim.now)
+        built: list[Agent] = []
+        for agent_spec in self.spec.agents_of_stage(stage):
+            built.extend(build_agents(ctx, agent_spec))
+        for agent in built:
+            if agent.name in self.by_name:
+                raise ScenarioError(
+                    f"duplicate agent name {agent.name!r}; name agents "
+                    "uniquely so measurements can address them")
+            self.by_name[agent.name] = agent
+        self.agents.extend(built)
+        self._stage_agents[stage] = built
+        return built
+
+    def agent(self, name: str) -> Agent:
+        try:
+            return self.by_name[name]
+        except KeyError:
+            # ScenarioError (not KeyError): a typoed agent name in a
+            # measurement spec must surface through the CLI's clean
+            # malformed-spec path.
+            known = ", ".join(self.by_name)
+            raise ScenarioError(
+                f"no agent named {name!r}; built agents: {known}") from None
+
+    # ------------------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        """Execute every stage, then collect the measurements."""
+        if self._ran:
+            raise RuntimeError(
+                "scenario already ran; build a fresh one to rerun")
+        self._ran = True
+        spec = self.spec
+        system = self.system
+        stop = spec.stop
+        stage_starts: list[int] = []
+        for stage in spec.stages:
+            agents = self._stage_agents.get(stage)
+            if agents is None:
+                agents = self._build_stage(stage)
+            start = system.sim.now
+            stage_starts.append(start)
+            for agent in agents:
+                agent.start()
+            if not agents:
+                continue
+            deadline = start + stop.hard_limit_ps
+            step = (stop.step_ps if stop.step_ps is not None
+                    else max(deadline // 100, 1))
+            system.run_until(
+                lambda agents=agents: all(a.done for a in agents),
+                step, deadline)
+        return self._collect(stage_starts)
+
+    def _collect(self, stage_starts: list[int]) -> ScenarioResult:
+        from repro.scenario.measure import collect_measurement
+
+        result = ScenarioResult(
+            name=self.spec.name,
+            final_now=self.system.sim.now,
+            stage_starts=stage_starts,
+            counters=dict(self.system.stats.act_rate_summary),
+            spec=self.spec,
+            system=self.system,
+            agents=list(self.agents),
+        )
+        for mspec in self.spec.measurements:
+            if mspec.key in result.data:
+                raise ScenarioError(
+                    f"duplicate measurement label {mspec.key!r}")
+            result.data[mspec.key] = collect_measurement(self, mspec)
+        return result
+
+
+def build(spec: ScenarioSpec, sim=None) -> BuiltScenario:
+    """Assemble a spec (see the module docstring)."""
+    return BuiltScenario(spec, sim=sim)

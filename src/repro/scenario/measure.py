@@ -1,0 +1,174 @@
+"""Measurement collectors: named, parameterized result extractors.
+
+A :class:`~repro.scenario.spec.MeasurementSpec` names a collector kind
+plus its params; after a scenario runs, each collector condenses live
+agents/statistics into JSON-safe data under
+``ScenarioResult.data[label]``.  Collectors are the serializable half
+of "measurement as data": a spec shipped to a worker process comes
+back as plain dicts, no live simulator objects required.
+
+Registering a collector is one decorated function::
+
+    @measurement("my-metric", doc="one-line description")
+    def _collect_my_metric(built, **params):
+        return {...}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.probe import EventKind
+from repro.scenario.spec import MeasurementSpec, ScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenario.build import BuiltScenario
+
+
+@dataclass(frozen=True)
+class MeasurementKind:
+    """One registered collector."""
+
+    kind: str
+    collector: Callable[..., object]
+    doc: str
+
+
+_MEASUREMENTS: dict[str, MeasurementKind] = {}
+
+
+def measurement(kind: str, *, doc: str) -> Callable:
+    """Register a collector under ``kind``."""
+
+    def decorate(fn: Callable) -> Callable:
+        if kind in _MEASUREMENTS:
+            raise ScenarioError(
+                f"measurement kind {kind!r} already registered")
+        _MEASUREMENTS[kind] = MeasurementKind(kind=kind, collector=fn,
+                                              doc=doc)
+        return fn
+
+    return decorate
+
+
+def measurement_kinds() -> dict[str, MeasurementKind]:
+    return dict(_MEASUREMENTS)
+
+
+def collect_measurement(built: "BuiltScenario",
+                        spec: MeasurementSpec) -> object:
+    try:
+        entry = _MEASUREMENTS[spec.kind]
+    except KeyError:
+        known = ", ".join(sorted(_MEASUREMENTS))
+        raise ScenarioError(
+            f"unknown measurement kind {spec.kind!r}; known kinds: "
+            f"{known}") from None
+    try:
+        return entry.collector(built, **dict(spec.params))
+    except TypeError as exc:
+        raise ScenarioError(
+            f"measurement kind {spec.kind!r}: {exc}") from None
+
+
+def _probe_of(built: "BuiltScenario", agent: str):
+    probe = built.agent(agent)
+    if not hasattr(probe, "samples"):
+        raise ScenarioError(
+            f"agent {agent!r} records no samples (kind mismatch)")
+    return probe
+
+
+# ----------------------------------------------------------------------
+# Collectors
+# ----------------------------------------------------------------------
+@measurement("counters", doc="ground-truth memory-system counters")
+def _collect_counters(built: "BuiltScenario"):
+    stats = built.system.stats
+    out = dict(stats.act_rate_summary)
+    out["precharges"] = stats.precharges
+    out["para_refreshes"] = stats.para_refreshes
+    out["n_blocks"] = len(stats.blocks)
+    return out
+
+
+@measurement("latency-classes",
+             doc="per-event-kind count/mean/max over a probe's samples")
+def _collect_latency_classes(built: "BuiltScenario", *, agent: str):
+    probe = _probe_of(built, agent)
+    classify = built.classifier.classify
+    out: dict[str, dict] = {}
+    for index, sample in enumerate(probe.samples):
+        kind = classify(sample.delta).value
+        entry = out.get(kind)
+        if entry is None:
+            entry = out[kind] = {"count": 0, "sum_ps": 0, "max_ps": 0,
+                                 "first_index": index}
+        entry["count"] += 1
+        entry["sum_ps"] += sample.delta
+        if sample.delta > entry["max_ps"]:
+            entry["max_ps"] = sample.delta
+    for entry in out.values():
+        entry["mean_ps"] = entry.pop("sum_ps") / entry["count"]
+    return out
+
+
+@measurement("samples",
+             doc="sample count + checksums (optionally raw pairs)")
+def _collect_samples(built: "BuiltScenario", *, agent: str, raw=False):
+    probe = _probe_of(built, agent)
+    samples = probe.samples
+    out = {
+        "n_samples": len(samples),
+        "delta_checksum": sum(s.delta for s in samples) % (1 << 31),
+        "end_checksum": sum(s.end_time for s in samples) % (1 << 31),
+    }
+    if raw:
+        out["pairs"] = [[s.end_time, s.delta] for s in samples]
+    return out
+
+
+@measurement("backoff-times",
+             doc="classified back-off midpoints of a probe (fingerprint)")
+def _collect_backoff_times(built: "BuiltScenario", *, agent: str,
+                           clip_ps=None):
+    probe = _probe_of(built, agent)
+    classify = built.classifier.classify
+    times = []
+    for s in probe.samples:
+        if classify(s.delta) is EventKind.BACKOFF:
+            mid = max(s.end_time - s.delta // 2, 0)
+            if clip_ps is not None:
+                mid = min(mid, int(clip_ps))
+            times.append(mid)
+    return {"times": times, "n_samples": len(probe.samples)}
+
+
+@measurement("elapsed", doc="per-agent start-to-finish wall time")
+def _collect_elapsed(built: "BuiltScenario", *, agents=None):
+    names = (list(agents) if agents is not None
+             else [a.name for a in built.agents])
+    out = {}
+    for name in names:
+        agent = built.agent(name)
+        if agent.finish_time is None:
+            raise ScenarioError(f"agent {name!r} never finished")
+        start = getattr(agent, "start_time", None)
+        if start is None:
+            raise ScenarioError(
+                f"agent {name!r} records no start_time; 'elapsed' "
+                "applies to probe/noise/app/trace agents")
+        out[name] = agent.finish_time - start
+    return out
+
+
+@measurement("event-count",
+             doc="number of a probe's samples classified as given kinds")
+def _collect_event_count(built: "BuiltScenario", *, agent: str, kinds,
+                         skip_first=0):
+    probe = _probe_of(built, agent)
+    classify = built.classifier.classify
+    wanted = tuple(EventKind(k) for k in kinds)
+    return sum(1 for s in probe.samples[int(skip_first):]
+               if classify(s.delta) in wanted)

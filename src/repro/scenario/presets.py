@@ -1,0 +1,118 @@
+"""Ready-made scenario specs for the CLI (``python -m repro scenario``).
+
+Each preset is a zero-argument factory returning a
+:class:`~repro.scenario.spec.ScenarioSpec`; the CLI's ``-p`` overrides
+then reach into the spec's dict form (``system.defense.nbo=64``,
+``agents.0.params.max_samples=128``, ...) before it is rebuilt and run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.scenario.spec import (
+    AgentSpec,
+    MeasurementSpec,
+    ScenarioError,
+    ScenarioSpec,
+    StopSpec,
+)
+from repro.sim.config import DefenseKind, DefenseParams, SystemConfig
+from repro.sim.engine import MS, US
+
+_PRESETS: dict[str, tuple[str, Callable[[], ScenarioSpec]]] = {}
+
+
+def preset(name: str, doc: str) -> Callable:
+    def decorate(fn: Callable[[], ScenarioSpec]) -> Callable:
+        if name in _PRESETS:
+            raise ScenarioError(
+                f"scenario preset {name!r} already registered")
+        _PRESETS[name] = (doc, fn)
+        return fn
+
+    return decorate
+
+
+def preset_names() -> dict[str, str]:
+    """Preset name -> one-line description."""
+    return {name: doc for name, (doc, _) in sorted(_PRESETS.items())}
+
+
+def get_preset(name: str) -> ScenarioSpec:
+    try:
+        _, fn = _PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PRESETS))
+        raise ScenarioError(
+            f"unknown scenario preset {name!r}; known: {known}") from None
+    return fn()
+
+
+# ----------------------------------------------------------------------
+@preset("prac-probe",
+        "Listing-1 latency probe against a PRAC-protected system (Fig. 2)")
+def _prac_probe() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="prac-probe",
+        system=SystemConfig(
+            defense=DefenseParams(kind=DefenseKind.PRAC, nbo=128)),
+        agents=(AgentSpec("probe", params={
+            "bank": (0, 0), "rows": (0, 8), "max_samples": 512}),),
+        stop=StopSpec(hard_limit_ps=50 * MS),
+        measurements=(
+            MeasurementSpec("latency-classes", params={"agent": "probe"}),
+        ))
+
+
+@preset("prac-covert",
+        "PRAC back-off covert channel transmitting one byte (Sec. 6)")
+def _prac_covert() -> ScenarioSpec:
+    from repro.core.prac_channel import PracCovertChannel
+    from repro.workloads.patterns import bits_from_text
+
+    channel = PracCovertChannel()
+    return channel.scenario(bits_from_text("K")).with_(
+        name="prac-covert",
+        measurements=(
+            MeasurementSpec("samples", params={"agent": "receiver"}),
+        ))
+
+
+@preset("rfm-covert",
+        "Periodic-RFM covert channel transmitting one byte (Sec. 7)")
+def _rfm_covert() -> ScenarioSpec:
+    from repro.core.rfm_channel import RfmCovertChannel
+    from repro.workloads.patterns import bits_from_text
+
+    channel = RfmCovertChannel()
+    return channel.scenario(bits_from_text("K")).with_(
+        name="rfm-covert",
+        measurements=(
+            MeasurementSpec("samples", params={"agent": "receiver"}),
+        ))
+
+
+@preset("noise-duel",
+        "multi-probe observer vs a mixed read/write noise generator")
+def _noise_duel() -> ScenarioSpec:
+    duration = 2 * MS
+    return ScenarioSpec(
+        name="noise-duel",
+        system=SystemConfig(
+            defense=DefenseParams(kind=DefenseKind.PRAC, nbo=64)),
+        agents=(
+            AgentSpec("multi-probe", params={
+                "count": 3, "bank": (0, 0), "first_row": 64,
+                "rows_per_probe": 2, "row_stride": 8,
+                "stop_time": duration}),
+            AgentSpec("mixed-noise", params={
+                "bank": (0, 0), "rows": (0, 8), "intensity": 60.0,
+                "write_ratio": 0.3, "stop_time": duration}),
+        ),
+        stop=StopSpec(hard_limit_ps=duration + 200 * US),
+        measurements=(
+            MeasurementSpec("event-count", label="probe0-backoffs",
+                            params={"agent": "multi-probe-0",
+                                    "kinds": ("backoff",)}),
+        ))

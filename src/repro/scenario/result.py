@@ -1,0 +1,65 @@
+"""Typed scenario outcome."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.scenario.spec import ScenarioError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.agent import Agent
+    from repro.scenario.spec import ScenarioSpec
+    from repro.system import MemorySystem
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one scenario run.
+
+    The serializable core -- name, end time, stage start times, ground
+    truth counters, and every measurement's output -- round-trips
+    through :meth:`to_dict` (what the CLI persists and what
+    ``map_scenarios`` returns from worker processes).  The live
+    ``system`` and ``agents`` stay available for in-process callers
+    (drivers that decode a transmission inspect the receiver directly)
+    but are deliberately excluded from serialization.
+    """
+
+    name: str
+    final_now: int
+    stage_starts: list[int]
+    counters: dict[str, int]
+    data: dict[str, object] = field(default_factory=dict)
+    # Live objects (in-process inspection only) -----------------------
+    spec: "ScenarioSpec | None" = None
+    system: "MemorySystem | None" = None
+    agents: "list[Agent]" = field(default_factory=list)
+
+    def agent(self, name: str) -> "Agent":
+        """Look a live agent up by name (in-process results only).
+
+        Raises :class:`ScenarioError` like ``BuiltScenario.agent`` --
+        the error type for a typoed agent name must not depend on
+        which object the caller happens to hold.
+        """
+        for agent in self.agents:
+            if agent.name == name:
+                return agent
+        known = ", ".join(a.name for a in self.agents)
+        raise ScenarioError(f"no agent named {name!r}; agents: {known}")
+
+    def agents_named(self, prefix: str) -> "list[Agent]":
+        """Every live agent whose name starts with ``prefix`` (how the
+        expansion of a ``multi-probe`` spec is retrieved)."""
+        return [a for a in self.agents if a.name.startswith(prefix)]
+
+    def to_dict(self) -> dict:
+        """JSON-safe core of the result (no live objects)."""
+        return {
+            "name": self.name,
+            "final_now": self.final_now,
+            "stage_starts": list(self.stage_starts),
+            "counters": dict(self.counters),
+            "data": self.data,
+        }

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` subcommand interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import iter_tables, main
@@ -115,3 +117,84 @@ class TestBenchCommand:
         files = list(tmp_path.glob("BENCH_*.json"))
         assert len(files) == 1
         assert "cli-test" in files[0].read_text()
+
+
+class TestListTag:
+    def test_tag_filters_the_catalog(self, capsys):
+        assert main(["list", "--tag", "ablation"]) == 0
+        out = capsys.readouterr().out
+        assert "ablation-trecv" in out
+        assert "fig4" not in out
+
+    def test_unknown_tag_lists_known_tags(self, capsys):
+        assert main(["list", "--tag", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert "known tags" in err and "prac" in err
+
+
+class TestRunOut:
+    def test_out_writes_tables_and_raw_data(self, tmp_path, capsys):
+        out_file = tmp_path / "results.json"
+        rc = main(["run", "ablation-refresh", "--no-cache",
+                   "--out", str(out_file)])
+        assert rc == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["experiment"] == "ablation-refresh"
+        assert doc["tables"] and "refresh policy" in doc["tables"][0]
+        assert doc["data"]["rows"]  # JSON-safe raw FigureTable payload
+        json.dumps(doc)  # fully serializable
+
+
+class TestScenarioCommands:
+    def test_scenario_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        for token in ("prac-probe", "noise-duel", "mixed-noise",
+                      "backoff-times"):
+            assert token in out
+
+    def test_describe_with_override(self, capsys):
+        rc = main(["scenario", "describe", "prac-probe", "--json",
+                   "-p", "system.defense.nbo=64"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scenario 'prac-probe'" in out
+        assert '"nbo": 64' in out
+
+    def test_describe_unknown_preset_fails_cleanly(self, capsys):
+        rc = main(["scenario", "describe", "missingno"])
+        assert rc == 2
+        assert "unknown scenario preset" in capsys.readouterr().err
+
+    def test_bad_override_path_fails_cleanly(self, capsys):
+        rc = main(["scenario", "describe", "prac-probe",
+                   "-p", "system.defense.bogus=1"])
+        assert rc == 2
+        assert "unknown field" in capsys.readouterr().err
+
+    def test_run_from_file_with_out(self, tmp_path, capsys):
+        from repro.scenario import get_preset
+
+        spec = get_preset("prac-probe").with_(
+            agents=(get_preset("prac-probe").agents[0],))
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(spec.to_json())
+        out_file = tmp_path / "result.json"
+        rc = main(["scenario", "run", "--file", str(spec_file),
+                   "-p", "agents.0.params.max_samples=32",
+                   "--cache-dir", str(tmp_path / "cache"),
+                   "--out", str(out_file)])
+        assert rc == 0
+        doc = json.loads(out_file.read_text())
+        assert doc["scenario"]["agents"][0]["params"]["max_samples"] == 32
+        assert doc["result"]["counters"]["requests"] >= 32
+        assert "latency-classes" in doc["result"]["data"]
+
+    def test_run_hits_the_cache(self, tmp_path, capsys):
+        args = ["scenario", "run", "prac-probe",
+                "-p", "agents.0.params.max_samples=16",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        assert "result from cache" in capsys.readouterr().err

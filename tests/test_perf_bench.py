@@ -16,7 +16,7 @@ from repro.perf.bench import (
 @pytest.fixture(scope="module")
 def tiny_config() -> BenchConfig:
     return BenchConfig(engine_events=2_000, controller_requests=500,
-                       repeats=1, full_report=False)
+                       scenario_builds=10, repeats=1, full_report=False)
 
 
 @pytest.fixture(scope="module")
@@ -32,6 +32,8 @@ class TestMetrics:
             "controller_conflict_requests_per_sec",
             "covert_trial_seconds",
             "covert_trial_canary_ok",
+            "scenario_build_per_sec",
+            "scenario_trial_seconds",
             "report_slice_seconds",
         }
 
@@ -39,6 +41,8 @@ class TestMetrics:
         assert metrics["engine_events_per_sec"] > 0
         assert metrics["controller_hit_requests_per_sec"] > 0
         assert metrics["controller_conflict_requests_per_sec"] > 0
+        assert metrics["scenario_build_per_sec"] > 0
+        assert metrics["scenario_trial_seconds"] > 0
 
     def test_canary_passes_on_faithful_simulator(self, metrics):
         assert metrics["covert_trial_canary_ok"] is True
