@@ -325,6 +325,49 @@ def cmd_bench(args) -> int:
     return run_from_args(args)
 
 
+def cmd_diffcheck(args) -> int:
+    from repro.exp.registry import experiment_names
+    from repro.perf.diffcheck import QUICK_EXPERIMENTS, run_diffcheck
+
+    if args.experiment:
+        try:
+            experiments = [get_canonical_name(n) for n in args.experiment]
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        fuzz = args.fuzz if args.fuzz is not None else 0
+    elif args.quick:
+        experiments = list(QUICK_EXPERIMENTS)
+        fuzz = args.fuzz if args.fuzz is not None else 20
+    else:
+        # Default (and --all): the full registry sweep.
+        experiments = experiment_names()
+        fuzz = args.fuzz if args.fuzz is not None else 10
+    if args.spec:
+        # Explicit spec files replace the fuzz corpus unless asked for.
+        fuzz = args.fuzz if args.fuzz is not None else 0
+        if not args.experiment and not args.all and not args.quick:
+            experiments = []
+    with _gc_paused():
+        report = run_diffcheck(
+            experiments=experiments, fuzz=fuzz, fuzz_seed=args.fuzz_seed,
+            spec_files=args.spec, artifact_dir=args.artifact_dir,
+            log=lambda msg: print(f"[diffcheck] {msg}", file=sys.stderr))
+    print(report.to_text())
+    if not report.ok:
+        print("\ndiffcheck: fast-forward results DIVERGED from the "
+              "event-accurate baseline; see the artifact spec(s) above",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def get_canonical_name(name: str) -> str:
+    from repro.exp.registry import get_experiment
+
+    return get_experiment(name).name
+
+
 def _auto_workers(requested: int | None) -> int | None:
     """Default the report to a parallel sweep on multi-core machines.
 
@@ -454,6 +497,36 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.perf.cli import add_bench_arguments
     add_bench_arguments(p_bench)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_diff = sub.add_parser(
+        "diffcheck",
+        help="differential equivalence check: every case runs with "
+             "steady-state fast-forward off and on; results must be "
+             "bit-identical")
+    p_diff.add_argument("experiment", nargs="*", metavar="NAME",
+                        help="experiment name(s) to check (default: the "
+                             "full registry sweep)")
+    p_diff.add_argument("--all", action="store_true",
+                        help="sweep all registered experiments plus "
+                             "fuzzed scenarios (the default)")
+    p_diff.add_argument("--quick", action="store_true",
+                        help="CI smoke subset: 3 experiments + 20 "
+                             "fuzzed scenario specs")
+    p_diff.add_argument("--fuzz", type=int, default=None, metavar="N",
+                        help="number of seeded random scenario specs "
+                             "(default: 10 for the full sweep, 20 for "
+                             "--quick, 0 with explicit names)")
+    p_diff.add_argument("--fuzz-seed", type=int, default=0x5EED,
+                        metavar="SEED", help="base seed of the fuzzed "
+                                             "spec corpus")
+    p_diff.add_argument("--spec", action="append", metavar="SPEC.json",
+                        default=None,
+                        help="also check a scenario spec file (e.g. a "
+                             "shrunken diffcheck-failure artifact)")
+    p_diff.add_argument("--artifact-dir", default=None, metavar="DIR",
+                        help="directory for shrunken failing-spec "
+                             "artifacts (default: current directory)")
+    p_diff.set_defaults(func=cmd_diffcheck)
     return parser
 
 

@@ -156,6 +156,11 @@ class MemoryController:
         self._next_seq = 0
         self._wake_at: int | None = None
         self.queue_high_water = 0
+        #: Wake-event elision switch (set by :class:`~repro.system.
+        #: MemorySystem` from the resolved fast-forward config) and its
+        #: engagement counter (see :meth:`submit_tail`).
+        self.ff_elide = False
+        self.wakes_elided = 0
         #: addr -> (coord, flat, bank, bank_queue): decode and bank
         #: resolution done once per distinct address.
         self._addr_plan: dict[int, tuple] = {}
@@ -252,6 +257,116 @@ class MemoryController:
             sim.schedule_call_at(now, self._on_wake_cb, now)
         return req
 
+    def submit_tail(self, addr: int, callback: Callable[["Request"], None],
+                    is_write: bool = False) -> Request:
+        """:meth:`submit` for *tail* callers -- callers that schedule
+        nothing else at the current instant after this call returns
+        (closed-loop probe/noise/app loops whose callback ends with the
+        submit).
+
+        When the queue is empty and the engine has no other event
+        pending at this instant, the deferred scheduler wake that
+        ``submit`` arms would run next with exactly this request as its
+        only candidate: FR-FCFS selection is trivial and the wake event
+        can be *elided*.  The request is serviced inline and only its
+        completion is scheduled.  Because nothing can run between this
+        call and the elided wake, everything scheduled here receives
+        seq numbers in the same relative order the wake path would have
+        assigned -- the elision is bit-identical, not approximately so.
+
+        Any failed precondition falls back to the deferred-wake path,
+        so ``submit_tail`` is always safe to use from a tail position.
+        """
+        sim = self.sim
+        if (self.ff_elide and self._queue_len == 0 and not self._backlog
+                # Simulator.quiescent_now, inlined (this is the hottest
+                # controller entry point; keep the two in sync): no
+                # pending event may share the current instant.
+                and sim._imm_head >= len(sim._imm)):
+            now = sim.now
+            fifo = sim._fifo
+            heap = sim._heap
+            if ((sim._fifo_head >= len(fifo)
+                    or fifo[sim._fifo_head][0] > now)
+                    and (not heap or heap[0][0] > now)):
+                plan = self._addr_plan.get(addr)
+                if plan is None:
+                    coord = self.mapper.decode(addr)
+                    flat = (coord.bankgroup * self.org.banks_per_group
+                            + coord.bank)
+                    plan = (coord, flat, self.banks[coord.rank][flat],
+                            self._bank_queues[coord.rank][flat])
+                    if len(self._addr_plan) >= (1 << 16):
+                        self._addr_plan.clear()
+                    self._addr_plan[addr] = plan
+                coord, flat, bank, bank_queue = plan
+                if bank.busy_until <= now:
+                    req = _new_request(Request)
+                    req.addr = addr
+                    req.coord = coord
+                    req.is_write = is_write
+                    req.arrive = now
+                    req.callback = callback
+                    req.seq = self._next_seq
+                    req.start_service = now
+                    req.complete = None
+                    req.kind = None
+                    req.flat = flat
+                    req.bank = bank
+                    req.bank_queue = bank_queue
+                    req._in_queue = False
+                    self._next_seq += 1
+                    if self.queue_high_water < 1:
+                        self.queue_high_water = 1
+                    # The deferred path would arm a wake at ``now``
+                    # which runs immediately after this callback and
+                    # leaves the controller unarmed; mirror that end
+                    # state (a previously armed future wake becomes
+                    # stale either way).
+                    self._wake_at = None
+                    self.wakes_elided += 1
+                    stats = self.stats
+                    if bank.open_row == coord.row:
+                        # Row-hit service, inlined from _service_core
+                        # (the dominant closed-loop case; keep in
+                        # sync).  start == now since the bank is idle.
+                        req.kind = "hit"
+                        stats.row_hits += 1
+                        bank.hit_streak += 1
+                        tBL = self._tBL
+                        earliest = now + self._tCL
+                        ends = self._bus_ends
+                        if ends and ends[0] <= now:
+                            starts = self._bus_starts
+                            cut = bisect_right(ends, now)
+                            del starts[:cut]
+                            del ends[:cut]
+                        if not ends or earliest >= ends[-1]:
+                            # Bus free at ``earliest`` (the closed-loop
+                            # common case: the previous burst expired).
+                            self._bus_starts.append(earliest)
+                            ends.append(earliest + tBL)
+                            done = earliest + tBL
+                        else:
+                            done = self._reserve_bus(
+                                earliest, tBL, now) + tBL
+                        busy = now + tBL
+                        if bank.busy_until < busy:
+                            bank.busy_until = busy
+                        if is_write:
+                            stats.writes += 1
+                        else:
+                            stats.reads += 1
+                        stats.requests_served += 1
+                        req.complete = done
+                        self._sched_call_at(done + self._frontend,
+                                            req.callback, req)
+                    else:
+                        req.start_service = None
+                        self._service_core(req, now)
+                    return req
+        return self.submit(addr, callback, is_write=is_write)
+
     def bank(self, rank: int, flat_id: int) -> BankState:
         return self.banks[rank][flat_id]
 
@@ -286,6 +401,59 @@ class MemoryController:
     @property
     def queued_requests(self) -> int:
         return self._queue_len + len(self._backlog)
+
+    # ------------------------------------------------------------------
+    # Steady-state fast-forward participation (repro.sim.fastforward)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ff_banks(plans) -> list[BankState]:
+        """Distinct banks of a probe's address plans, in plan order
+        (shared by snapshot and apply so their layouts always agree)."""
+        banks: list[BankState] = []
+        for _coord, _flat, bank, _queue in plans:
+            if bank not in banks:  # identity compare; 1-2 banks typical
+                banks.append(bank)
+        return banks
+
+    def ff_snapshot(self, plans) -> tuple[tuple, tuple]:
+        """(lin, inv) controller state for periodicity detection.
+
+        ``lin`` holds the per-cycle-advancing ints (bank timestamps,
+        hit streaks, request seq, bus reservation endpoints); ``inv``
+        holds what must not change at all between cycle boundaries
+        (open rows, queue emptiness, armed wake, high-water mark).
+        """
+        lin = [self._next_seq]
+        inv = [self._queue_len, len(self._backlog), self._wake_at,
+               self.queue_high_water, len(self._bus_starts)]
+        for bank in self._ff_banks(plans):
+            lin.append(bank.busy_until)
+            lin.append(bank.act_time)
+            lin.append(bank.hit_streak)
+            inv.append(bank.open_row)
+        lin.extend(self._bus_starts)
+        lin.extend(self._bus_ends)
+        return tuple(lin), tuple(inv)
+
+    def ff_apply(self, plans, delta, cycles: int) -> None:
+        """Bulk-advance controller state by ``cycles`` steady cycles
+        (``delta`` = the per-cycle lin difference, laid out exactly as
+        :meth:`ff_snapshot` built it)."""
+        self._next_seq += delta[0] * cycles
+        i = 1
+        for bank in self._ff_banks(plans):
+            bank.busy_until += delta[i] * cycles
+            bank.act_time += delta[i + 1] * cycles
+            bank.hit_streak += delta[i + 2] * cycles
+            i += 3
+        starts = self._bus_starts
+        for j in range(len(starts)):
+            starts[j] += delta[i] * cycles
+            i += 1
+        ends = self._bus_ends
+        for j in range(len(ends)):
+            ends[j] += delta[i] * cycles
+            i += 1
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -399,7 +567,16 @@ class MemoryController:
         if bank_queue.size == 0:
             fifo.clear()
             del self._occupied[bank_queue]
+        self._service_core(req, now)
 
+    def _service_core(self, req: Request, now: int) -> None:
+        """Command/latency composition of one selected request.
+
+        Shared verbatim by the wake path (:meth:`_service`, after the
+        dequeue) and the wake-elision path (:meth:`submit_tail`, where
+        the request never enters a queue) -- one body, so the two paths
+        cannot drift apart.
+        """
         coord = req.coord
         bank = req.bank
         stats = self.stats

@@ -122,11 +122,12 @@ class WindowedSender(Agent):
         self.accesses = 0
         self._halted_window = -1
         self._issue_time = 0
-        # Stable bound references for the per-access hot loop.
+        # Stable bound references for the per-access hot loop; the
+        # submit is _tick's tail call, so wake elision applies.
         self._tick_cb = self._tick
         self._complete_cb = self._complete
         self._classify = classifier.classify
-        self._submit = system.controller.submit
+        self._submit = system.controller.submit_tail
 
     # ------------------------------------------------------------------
     def start(self) -> None:

@@ -129,7 +129,9 @@ class SyntheticAppAgent(Agent):
         if self.stop_time is not None and self.sim.now >= self.stop_time:
             self._finish()
             return
-        self.system.submit(self._next_addr(), self._complete_cb)
+        # Tail position: nothing else is scheduled at this instant
+        # after the submit, so the wake-elision fast path applies.
+        self.system.submit_tail(self._next_addr(), self._complete_cb)
 
     def _complete(self, req) -> None:
         self.requests_done += 1

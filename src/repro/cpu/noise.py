@@ -64,10 +64,13 @@ class NoiseAgent(Agent):
         self.requests_issued = 0
         self._idx = 0
         self._in_burst = 0
-        # Stable bound references for the per-access hot loop.
+        # Stable bound references for the per-access hot loop.  The
+        # submit ends both _issue and (via _issue) the burst
+        # continuation in _complete, so the tail-submit wake elision
+        # applies (see MemoryController.submit_tail).
         self._issue_cb = self._issue
         self._complete_cb = self._complete
-        self._submit = system.controller.submit
+        self._submit = system.controller.submit_tail
 
     @classmethod
     def for_intensity(cls, system: MemorySystem, addrs: list[int],

@@ -93,7 +93,13 @@ class LatencyProbe(Agent):
         # must not pay for.
         self._issue_cb = self._issue
         self._complete_cb = self._complete
-        self._submit = system.controller.submit
+        # Tail submit: _issue ends with the submit call, so the
+        # controller may elide its scheduler-wake event (bit-identical;
+        # see MemoryController.submit_tail).
+        self._submit = system.controller.submit_tail
+        #: Steady-state fast-forward coordinator (None when disabled);
+        #: consulted at every address-cycle boundary.
+        self._ff = system.fast_forward
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -135,14 +141,24 @@ class LatencyProbe(Agent):
         repeat = self._repeat + 1
         if repeat >= self.accesses_per_addr:
             self._repeat = 0
-            self._addr_idx = (self._addr_idx + 1) % len(self.addrs)
+            at_boundary = self._addr_idx = \
+                (self._addr_idx + 1) % len(self.addrs)
         else:
             self._repeat = repeat
+            at_boundary = 1
         if self.on_sample is not None:
             self.on_sample(sample)
         if self.done:
             return
-        self.sim.schedule_at(now + self.overhead, self._issue_cb)
+        ff = self._ff
+        if ff is not None and at_boundary == 0:
+            # Cycle boundary, next issue not yet scheduled: the
+            # coordinator may bulk-advance this loop (appending
+            # synthesized samples and moving _prev_end) when the
+            # pattern is provably steady.
+            ff.consider(self)
+        self.sim.schedule_at(self._prev_end + self.overhead,
+                             self._issue_cb)
 
     # ------------------------------------------------------------------
     @property

@@ -105,15 +105,19 @@ def _bench_controller(stream: str, n_requests: int) -> float:
     else:  # pragma: no cover - internal suite definition
         raise ValueError(f"unknown stream {stream!r}")
     state = {"done": 0, "idx": 0}
+    # The submit is the callback's tail call -- exactly the closed-loop
+    # shape the wake-elision fast path serves (submit_tail falls back
+    # to the deferred-wake path whenever elision is unsafe or off).
+    submit = system.submit_tail
 
     def callback(req) -> None:
         done = state["done"] = state["done"] + 1
         if done < n_requests:
             idx = state["idx"] = (state["idx"] + 1) % len(addrs)
-            system.submit(addrs[idx], callback)
+            submit(addrs[idx], callback)
 
     start = time.perf_counter()
-    system.submit(addrs[0], callback)
+    submit(addrs[0], callback)
     system.sim.run(until=1 << 60)
     elapsed = time.perf_counter() - start
     if state["done"] < n_requests:  # pragma: no cover - defensive

@@ -18,6 +18,11 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-compare", action="store_true",
                         help="skip the comparison against the previous "
                              "BENCH file")
+    parser.add_argument("--compare", nargs=2, default=None,
+                        metavar=("OLD.json", "NEW.json"),
+                        help="print the ratio table between two existing "
+                             "BENCH files (NEW vs OLD) instead of "
+                             "running the suite")
 
 
 def render(doc: dict) -> str:
@@ -36,7 +41,42 @@ def render(doc: dict) -> str:
     return "\n".join(lines)
 
 
+def render_comparison(old_path: str, new_path: str) -> str:
+    """Ratio table between two committed BENCH files (NEW vs OLD)."""
+    import json
+
+    from repro.perf.bench import compare
+
+    with open(old_path) as handle:
+        old_doc = json.load(handle)
+    with open(new_path) as handle:
+        new_doc = json.load(handle)
+    if bool(old_doc.get("quick")) != bool(new_doc.get("quick")):
+        raise ValueError(
+            f"cannot compare {old_path} (quick={old_doc.get('quick')}) "
+            f"with {new_path} (quick={new_doc.get('quick')}): quick- and "
+            "full-scale numbers are not comparable")
+    ratios = compare(new_doc, old_doc)
+    lines = [f"# bench compare: {new_path} "
+             f"[{new_doc.get('label')}] vs {old_path} "
+             f"[{old_doc.get('label')}]  (>1.0 = NEW faster)"]
+    for key, entry in sorted(ratios.items()):
+        now = new_doc["metrics"].get(key)
+        lines.append(f"{key:40s} {entry['speedup']:6.2f}x "
+                     f"(was {entry['previous']}, now {now})")
+    return "\n".join(lines)
+
+
 def run_from_args(args) -> int:
+    if getattr(args, "compare", None):
+        old_path, new_path = args.compare
+        try:
+            print(render_comparison(old_path, new_path))
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        return 0
+
     from repro.perf.bench import run_bench  # deferred off CLI startup
 
     doc = run_bench(quick=args.quick, label=args.label,

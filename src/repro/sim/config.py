@@ -240,6 +240,13 @@ class SystemConfig:
     loop_overhead: int = 10 * NS
     #: Global seed for workload/agent randomness.
     seed: int = 1
+    #: Steady-state fast-forward: analytically skip perfectly periodic
+    #: closed-loop stretches (see :mod:`repro.sim.fastforward`).
+    #: ``None`` resolves through the process-wide default (on, unless
+    #: ``REPRO_FAST_FORWARD=off`` or a forced override is active); the
+    #: optimization is machine-checked bit-identical by
+    #: ``python -m repro diffcheck``.
+    fast_forward: bool | None = None
 
     def validate(self) -> None:
         self.timing.validate()

@@ -67,7 +67,8 @@ class Simulator:
     """
 
     __slots__ = ("now", "_heap", "_fifo", "_fifo_head", "_imm",
-                 "_imm_head", "_seq", "_events_run", "_running")
+                 "_imm_head", "_seq", "_events_run", "_events_elided",
+                 "_running", "_stop_at")
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -78,7 +79,11 @@ class Simulator:
         self._imm_head: int = 0
         self._seq: int = 0
         self._events_run: int = 0
+        self._events_elided: int = 0
         self._running = False
+        #: ``until`` of the run() call currently executing (None when
+        #: not running or running without a limit); see run_horizon.
+        self._stop_at: int | None = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -217,6 +222,7 @@ class Simulator:
                 "Simulator.run is not reentrant; do not call run() from "
                 "inside an event callback")
         self._running = True
+        self._stop_at = until
         stop_at = _NEVER if until is None else until
         remaining = _NEVER if max_events is None else max_events
         executed = 0
@@ -286,9 +292,89 @@ class Simulator:
             self._imm_head = 0
             self._events_run += executed
             self._running = False
+            self._stop_at = None
         if until is not None and until > self.now:
             self.now = until
         return executed
+
+    # ------------------------------------------------------------------
+    # Quiescence introspection (steady-state fast-forward support)
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> int | None:
+        """Timestamp of the earliest pending event, or ``None`` when no
+        event is pending.
+
+        Valid between runs and from inside event callbacks (the run
+        loop publishes lane consumption before every callback).  The
+        fast-forward engine uses this as its *quiescence horizon*: a
+        steady-state jump may only synthesize activity that completes
+        strictly before this time, because the pending event -- a
+        refresh tick, an RFM grid point, a back-off recovery, a stale
+        controller wake -- could perturb the periodic pattern.
+        """
+        best = None
+        imm = self._imm
+        if self._imm_head < len(imm):
+            best = imm[self._imm_head][0]
+        fifo = self._fifo
+        if self._fifo_head < len(fifo):
+            t = fifo[self._fifo_head][0]
+            if best is None or t < best:
+                best = t
+        heap = self._heap
+        if heap:
+            t = heap[0][0]
+            if best is None or t < best:
+                best = t
+        return best
+
+    def quiescent_now(self) -> bool:
+        """True when no pending event is scheduled at the *current*
+        timestamp.
+
+        Lane times are nondecreasing along the run, so any unconsumed
+        entry at a time <= ``now`` sits exactly at ``now``.  The
+        controller's wake-event elision relies on this: when the
+        instant is quiescent and the caller schedules nothing else at
+        this instant, the deferred scheduler wake would run next with
+        exactly one candidate request, so its selection can be resolved
+        inline and the wake event elided without reordering anything.
+        """
+        imm = self._imm
+        if self._imm_head < len(imm):
+            return False
+        now = self.now
+        fifo = self._fifo
+        if self._fifo_head < len(fifo) and fifo[self._fifo_head][0] <= now:
+            return False
+        heap = self._heap
+        if heap and heap[0][0] <= now:
+            return False
+        return True
+
+    @property
+    def run_horizon(self) -> int | None:
+        """``until`` of the currently executing :meth:`run` call, or
+        ``None`` (no run in progress, or an unbounded run).
+
+        The fast-forward engine clamps every jump to this horizon:
+        whatever the caller does *after* a paused ``run(until=T)``
+        returns -- install a blocking interval, start another agent,
+        schedule an event -- must see no state synthesized beyond
+        ``T``, so incremental drivers stay bit-identical too.
+        """
+        return self._stop_at
+
+    def note_elided(self, n: int) -> None:
+        """Account for ``n`` events that steady-state fast-forward (or
+        wake elision) resolved analytically instead of dispatching."""
+        self._events_elided += n
+
+    @property
+    def events_elided(self) -> int:
+        """Events resolved analytically rather than dispatched (see
+        :meth:`note_elided`); a fast-forward engagement diagnostic."""
+        return self._events_elided
 
     @property
     def pending_events(self) -> int:

@@ -1,0 +1,417 @@
+"""Steady-state fast-forward: analytic jumps over periodic probe traffic.
+
+The paper's channels ride on long stretches of perfectly periodic
+closed-loop probe traffic -- the same one- or two-row access cycle
+repeating until a *disturbance* (periodic refresh, RFM, PRAC back-off,
+a co-running agent) perturbs it.  Simulating those stretches event by
+event is the dominant cost of every experiment.  This module skips
+them analytically while staying **bit-identical** to event-accurate
+execution; ``python -m repro diffcheck`` machine-checks that claim
+over every registered experiment plus fuzzed scenarios.
+
+How a jump works
+----------------
+A :class:`LatencyProbe <repro.cpu.probe.LatencyProbe>` calls
+:meth:`FastForward.consider` at every *cycle boundary* (its address
+round-robin just wrapped).  The engine then:
+
+1. **Snapshots** the linear state of every component the cycle touches
+   -- engine seq counter, probe progress, per-bank timestamps and bus
+   reservations, memory-system counters, defense counters -- as a flat
+   tuple of ints (``lin``), plus an invariant tuple (``inv``) of values
+   that must not change at all between boundaries (open rows, block
+   counts, armed wake, ABO/cool-down flags ...).
+2. **Detects steady state** from three consecutive boundary snapshots:
+   the two successive ``lin`` differences must be elementwise equal
+   (the dynamics are translation-invariant, i.e. exactly periodic with
+   period ``P``), the ``inv`` tuples identical, and the probe's sample
+   pattern (latency deltas + addresses, relative to the boundary) must
+   repeat.
+3. **Bounds the jump**: ``N`` whole cycles are safe iff every
+   synthesized event lands strictly *before* the engine's earliest
+   pending event (the quiescence horizon -- a refresh tick, RFM grid
+   point, recovery event or stale wake pending in any lane), before the
+   probe's own ``stop_time``, within ``max_samples``, and within the
+   defense's headroom (no activation counter may reach its trigger
+   threshold mid-jump; see ``Defense.ff_cycle_cap``).
+4. **Applies** the jump in bulk: every ``lin`` field advances by
+   ``N x`` its per-cycle delta, and the probe's sample log is extended
+   with ``N`` copies of the boundary cycle's sample pattern shifted by
+   multiples of ``P``.  Simulated time itself needs no touch-up -- the
+   probe schedules its next issue at the post-jump timestamp and the
+   event engine leaps there, which is where the dispatch savings come
+   from.
+
+Safety invariants (why this is exact, not approximate)
+------------------------------------------------------
+* A jump only happens when the request queue is empty, the probe is
+  the only live activity, and every pending event lies beyond the
+  synthesized window -- so nothing can observe or perturb the skipped
+  iterations.
+* A jump never synthesizes beyond the active ``run(until=T)`` horizon
+  either: a caller that pauses the simulation and mutates state
+  between runs (installs a block, starts an agent, schedules an
+  event) sees exactly the event-accurate state at ``T``.
+* Equal successive differences over a full cycle are required on
+  *every* tracked field; anything non-linear (a counter reset, a block
+  interval, a first-touch materialization) breaks the equality and the
+  engine silently falls back to event-accurate execution.
+* Trigger thresholds are never crossed inside a jump: the defense caps
+  ``N`` so every counter stays strictly below its threshold, and the
+  crossing iteration runs live.
+* Conservative caps are always safe: jumping fewer cycles than allowed
+  just leaves more iterations to run event-accurately.
+
+Process-wide switches
+---------------------
+``SystemConfig.fast_forward`` opts a single system in or out; ``None``
+(the default) resolves through :func:`resolve_enabled`: a
+:func:`forced` override (used by the diffcheck harness) beats the
+config field, which beats the ``REPRO_FAST_FORWARD`` environment
+variable (``off`` disables), which beats the default (**on** -- the
+equivalence suite gates the default, see ROADMAP).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.system import MemorySystem
+
+#: Environment switch consulted by :func:`resolve_enabled`.
+ENV_VAR = "REPRO_FAST_FORWARD"
+
+#: Process-wide forced override: "on", "off", or None (no override).
+_forced: str | None = None
+
+#: Process-wide engagement totals (diffcheck engagement evidence).
+_totals = {"jumps": 0, "cycles": 0, "samples": 0}
+
+#: Consecutive failed steady-state checks before a probe's detection
+#: backs off, and the backoff ceiling (in skipped cycle boundaries).
+_BACKOFF_AFTER = 4
+_BACKOFF_MAX = 64
+
+
+def resolve_enabled(field: bool | None) -> bool:
+    """Resolve a ``SystemConfig.fast_forward`` field to a live switch.
+
+    Precedence: :func:`forced` override > explicit config field >
+    ``REPRO_FAST_FORWARD`` env var > default (enabled).
+    """
+    if _forced is not None:
+        return _forced == "on"
+    if field is not None:
+        return bool(field)
+    env = os.environ.get(ENV_VAR, "").strip().lower()
+    if env in ("off", "0", "false", "no"):
+        return False
+    return True
+
+
+@contextmanager
+def forced(mode: str | None):
+    """Force fast-forward ``"on"``/``"off"`` for every system built
+    inside the context, overriding config fields and the environment
+    (how the diffcheck harness pins its baseline runs)."""
+    if mode not in (None, "on", "off"):
+        raise ValueError("forced mode must be 'on', 'off', or None")
+    global _forced
+    prev = _forced
+    _forced = mode
+    try:
+        yield
+    finally:
+        _forced = prev
+
+
+def totals() -> dict:
+    """Process-wide jump totals since import (engagement evidence)."""
+    return dict(_totals)
+
+
+class _Track:
+    """Per-probe detection state: two boundary snapshots plus backoff."""
+
+    __slots__ = ("t0", "lin0", "t1", "lin1", "inv", "fails", "skip")
+
+    def __init__(self) -> None:
+        self.t0 = None
+        self.lin0 = None
+        self.t1 = None
+        self.lin1 = None
+        self.inv = None
+        self.fails = 0
+        self.skip = 0
+
+    def reset(self) -> None:
+        self.t0 = self.lin0 = self.t1 = self.lin1 = self.inv = None
+
+    def push(self, t: int, lin, inv) -> None:
+        if self.inv is not None and inv != self.inv:
+            # Invariant churn: restart detection from this boundary.
+            self.t1 = None
+            self.lin1 = None
+        self.t0 = self.t1
+        self.lin0 = self.lin1
+        self.t1 = t
+        self.lin1 = lin
+        self.inv = inv
+
+    def fail(self) -> None:
+        self.fails += 1
+        if self.fails >= _BACKOFF_AFTER:
+            self.skip = min(self.fails, _BACKOFF_MAX)
+            self.reset()
+
+
+def _diff(a, b):
+    """Per-segment elementwise difference ``b - a`` of two nested lin
+    tuples; ``None`` when the structures disagree (e.g. the bus
+    reservation list changed length between boundaries)."""
+    out = []
+    for sa, sb in zip(a, b):
+        if len(sa) != len(sb):
+            return None
+        out.append(tuple(y - x for x, y in zip(sa, sb)))
+    return tuple(out)
+
+
+class FastForward:
+    """Coordinator owned by one :class:`~repro.system.MemorySystem`."""
+
+    #: Indices into the snapshot's segment tuple.
+    _ENGINE, _PROBE, _CTRL, _STATS, _DEFENSE = range(5)
+
+    def __init__(self, system: "MemorySystem") -> None:
+        self.system = system
+        self.sim = system.sim
+        self.controller = system.controller
+        self.stats = system.stats
+        self.defense = system.defense
+        #: Whether the configured defense opted into analytic jumps.
+        self.supported = bool(getattr(system.defense, "ff_supported",
+                                      False))
+        # Engagement diagnostics (per system).
+        self.jumps = 0
+        self.cycles_skipped = 0
+        self.samples_synthesized = 0
+
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Engagement summary (diffcheck / bench reporting)."""
+        return {
+            "supported": self.supported,
+            "jumps": self.jumps,
+            "cycles_skipped": self.cycles_skipped,
+            "samples_synthesized": self.samples_synthesized,
+            "wakes_elided": self.controller.wakes_elided,
+            "events_elided": self.sim.events_elided,
+        }
+
+    # ------------------------------------------------------------------
+    def consider(self, probe) -> None:
+        """Attempt a steady-state jump for ``probe``.
+
+        Called by the probe from its completion callback at every cycle
+        boundary, *before* the next issue event is scheduled -- so the
+        engine's pending events are exactly the outside world (refresh
+        ticks, defense timers, other agents), which is what makes the
+        quiescence horizon a sound jump bound.
+        """
+        if not self.supported:
+            return
+        # Dynamic eligibility: cheap attribute gates, checked every
+        # boundary because jitter/on_sample/sleep can be (re)configured
+        # after construction.
+        if (probe.jitter_ps or probe.on_sample is not None
+                or probe._sleeping_until is not None
+                or (probe.max_samples is None and probe.stop_time is None)):
+            return
+        controller = self.controller
+        if controller._queue_len or controller._backlog:
+            return
+        track = getattr(probe, "_ff_track", None)
+        if track is None:
+            track = probe._ff_track = _Track()
+        elif track.skip:
+            track.skip -= 1
+            return
+
+        snap = self._snapshot(probe)
+        if snap is None:
+            track.fail()
+            return
+        lin, inv = snap
+        now = self.sim.now
+        if (track.lin0 is None or inv != track.inv):
+            track.push(now, lin, inv)
+            return
+        period = now - track.t1
+        if period <= 0 or track.t1 - track.t0 != period:
+            track.fail()
+            track.push(now, lin, inv)
+            return
+        d1 = _diff(track.lin0, track.lin1)
+        d2 = _diff(track.lin1, lin)
+        if d1 is None or d2 is None or d1 != d2:
+            track.fail()
+            track.push(now, lin, inv)
+            return
+
+        cycle_len = len(probe.addrs) * probe.accesses_per_addr
+        dp = d1[self._PROBE]
+        if dp[0] != period or dp[1] != cycle_len:
+            # The probe's own progress must advance by exactly one full
+            # cycle per period, or the pattern is not what we synthesize.
+            track.fail()
+            track.push(now, lin, inv)
+            return
+        # The window's stats delta must be *exactly* one probe cycle's
+        # worth of read services -- L requests, L reads, no writes,
+        # kinds summing to L, and command counts implied by the kinds.
+        # This is what proves the detection windows contained no other
+        # agent's activity: any foreign request serviced inside them
+        # would inflate these counters (even when, by coincidence, it
+        # does so equally in both windows -- the case a pure equal-
+        # differences check cannot see).  The jump window itself is
+        # foreign-free by construction (the quiescence horizon), so the
+        # extrapolated deltas must be too.
+        d_act, d_pre, d_rd, d_wr, d_hit, d_miss, d_conf, d_req = \
+            d1[self._STATS]
+        if (d_req != cycle_len or d_rd != cycle_len or d_wr != 0
+                or d_hit + d_miss + d_conf != cycle_len
+                or d_act != d_miss + d_conf or d_pre != d_conf):
+            track.fail()
+            track.push(now, lin, inv)
+            return
+
+        n = self._max_cycles(probe, now, period, cycle_len, lin, d1)
+        if n <= 0:
+            track.push(now, lin, inv)
+            return
+
+        self._apply(probe, now, period, cycle_len, lin, d1, n)
+        # Keep detection primed: the post-jump state sits exactly n
+        # periods further along the same steady trajectory, so the next
+        # live boundary can re-confirm (one diff) and jump again.
+        track.fails = 0
+        track.t0 = now + (n - 1) * period
+        track.lin0 = tuple(
+            tuple(v + d * (n - 1) for v, d in zip(seg, dseg))
+            for seg, dseg in zip(lin, d1))
+        track.t1 = now + n * period
+        track.lin1 = tuple(
+            tuple(v + d * n for v, d in zip(seg, dseg))
+            for seg, dseg in zip(lin, d1))
+        track.inv = inv
+
+    # ------------------------------------------------------------------
+    def _snapshot(self, probe):
+        """(lin, inv) across engine, probe, controller, stats, defense;
+        ``None`` when a component cannot be snapshotted right now."""
+        controller = self.controller
+        plan_map = controller._addr_plan
+        plans = []
+        for addr in probe.addrs:
+            plan = plan_map.get(addr)
+            if plan is None:
+                return None
+            plans.append(plan)
+        plans = tuple(plans)
+        samples = probe.samples
+        cycle_len = len(probe.addrs) * probe.accesses_per_addr
+        if len(samples) < cycle_len:
+            return None
+        base = samples[-1].end_time
+        pattern = tuple((s.end_time - base, s.delta, s.addr)
+                        for s in samples[-cycle_len:])
+        sim = self.sim
+        lin_engine = (sim._seq,)
+        lin_probe = (probe._prev_end, len(samples))
+        inv_probe = (pattern, probe._addr_idx, probe._repeat)
+        lin_ctrl, inv_ctrl = controller.ff_snapshot(plans)
+        lin_stats, inv_stats = self.stats.ff_snapshot()
+        defense_snap = self.defense.ff_snapshot(plans)
+        if defense_snap is None:
+            return None
+        lin_def, inv_def = defense_snap
+        lin = (lin_engine, lin_probe, lin_ctrl, lin_stats, lin_def)
+        inv = (inv_probe, inv_ctrl, inv_stats, inv_def, plans)
+        return lin, inv
+
+    def _max_cycles(self, probe, now: int, period: int, cycle_len: int,
+                    lin, delta) -> int:
+        """Largest safe jump, in whole cycles (conservative by design)."""
+        horizon = self.sim.next_event_time()
+        n = None
+        if horizon is not None:
+            # Every synthesized event must land strictly before the
+            # earliest pending event; the latest synthetic timestamp is
+            # the final cycle's completion at ``now + n * period``.
+            n = (horizon - 1 - now) // period
+        run_horizon = self.sim.run_horizon
+        if run_horizon is not None:
+            # Never synthesize beyond the active run(until=T) horizon:
+            # iterations completing at or before T would have executed
+            # inside this run anyway, while anything later must stay
+            # live so that state the caller mutates *between* runs
+            # (blocks, new agents, scheduled events) is honored.
+            cap = (run_horizon - now) // period
+            n = cap if n is None else min(n, cap)
+        if probe.stop_time is not None:
+            cap = (probe.stop_time - 1 - now) // period
+            n = cap if n is None else min(n, cap)
+        if probe.max_samples is not None:
+            cap = (probe.max_samples - len(probe.samples)) // cycle_len
+            n = cap if n is None else min(n, cap)
+        # Eligibility guarantees max_samples or stop_time, so n is set.
+        if n <= 0:
+            return 0
+        acts_per_cycle = delta[self._STATS][0]
+        cap = self.defense.ff_cycle_cap(lin[self._DEFENSE],
+                                        delta[self._DEFENSE],
+                                        acts_per_cycle)
+        if cap is not None:
+            n = min(n, cap)
+        return n
+
+    def _apply(self, probe, now: int, period: int, cycle_len: int,
+               lin, delta, n: int) -> None:
+        """Advance every component by ``n`` cycles in bulk."""
+        from repro.cpu.probe import LatencySample
+
+        sim = self.sim
+        d_seq = delta[self._ENGINE][0]
+        sim._seq += d_seq * n
+        # In steady state every event scheduled inside the window is
+        # also dispatched inside it, so the per-cycle seq delta counts
+        # the events this jump elided.
+        sim._events_elided += d_seq * n
+
+        samples = probe.samples
+        pattern = [(s.end_time - now, s.delta, s.addr)
+                   for s in samples[-cycle_len:]]
+        samples.extend(
+            LatencySample(now + c * period + off, d, a)
+            for c in range(1, n + 1) for (off, d, a) in pattern)
+        probe._prev_end = now + n * period
+
+        plans = self._plans_of(probe)
+        self.controller.ff_apply(plans, delta[self._CTRL], n)
+        self.stats.ff_apply(delta[self._STATS], n)
+        self.defense.ff_apply(plans, delta[self._DEFENSE], n)
+
+        self.jumps += 1
+        self.cycles_skipped += n
+        self.samples_synthesized += n * cycle_len
+        _totals["jumps"] += 1
+        _totals["cycles"] += n
+        _totals["samples"] += n * cycle_len
+
+    def _plans_of(self, probe) -> tuple:
+        plan_map = self.controller._addr_plan
+        return tuple(plan_map[a] for a in probe.addrs)

@@ -24,6 +24,7 @@ from repro.defenses.factory import build_defense
 from repro.dram.address import AddressMapper
 from repro.sim.config import SystemConfig
 from repro.sim.engine import Simulator
+from repro.sim.fastforward import FastForward, resolve_enabled
 from repro.sim.stats import MemoryStats
 
 
@@ -42,6 +43,13 @@ class MemorySystem:
         self.defense = build_defense(self.sim, self.controller, config,
                                      self.stats)
         self.refresh = RefreshScheduler(self.sim, self.controller, config)
+        # Steady-state fast-forward (bit-identical; machine-checked by
+        # `python -m repro diffcheck`): wake-event elision in the
+        # controller plus the analytic jump coordinator probes consult.
+        enabled = resolve_enabled(config.fast_forward)
+        self.controller.ff_elide = enabled
+        self.fast_forward: FastForward | None = (
+            FastForward(self) if enabled else None)
         self.refresh.start()
         self.defense.on_boot()
 
@@ -53,6 +61,15 @@ class MemorySystem:
         controller folds into the completion callback directly -- no
         per-request relay event)."""
         return self.controller.submit(addr, callback, is_write=is_write)
+
+    def submit_tail(self, addr: int, callback: Callable[[Request], None],
+                    is_write: bool = False) -> Request:
+        """:meth:`submit` for closed-loop callers that schedule nothing
+        else at the current instant after this call returns -- eligible
+        for the controller's wake-event elision (bit-identical; see
+        :meth:`MemoryController.submit_tail`)."""
+        return self.controller.submit_tail(addr, callback,
+                                           is_write=is_write)
 
     def run_until(self, predicate: Callable[[], bool], step: int,
                   hard_limit: int) -> None:

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.sim.config import (
@@ -11,6 +14,113 @@ from repro.sim.config import (
     SystemConfig,
 )
 from repro.system import MemorySystem
+
+#: Seed-captured golden values pinning simulation physics.
+GOLDEN_PATH = Path(__file__).parent / "golden" / "golden_identity.json"
+
+REGEN_COMMAND = ("PYTHONPATH=src python -m pytest "
+                 "tests/test_golden_identity.py --regen-golden")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen-golden", action="store_true", default=False,
+        help="rewrite tests/golden/golden_identity.json from the current "
+             "simulator instead of asserting against it -- for "
+             "INTENTIONAL physics changes only; review the file diff "
+             "and call the change out in the commit message")
+
+
+class GoldenStore:
+    """Compare-or-capture access to the golden-identity file.
+
+    In normal runs :meth:`check` asserts the captured values match the
+    committed goldens, failing with a per-field diff plus the exact
+    regeneration command.  Under ``--regen-golden`` it records the
+    captured values instead and the session teardown rewrites the file.
+    """
+
+    def __init__(self, path: Path, regen: bool) -> None:
+        self.path = path
+        self.regen = regen
+        self.captured: dict[tuple, dict] = {}
+        if path.exists():
+            self.data = json.loads(path.read_text())
+        else:
+            self.data = {}
+            if not regen:
+                pytest.fail(
+                    f"goldens file {path} is missing; restore it from "
+                    f"git or regenerate it with:\n    {REGEN_COMMAND}",
+                    pytrace=False)
+
+    def _lookup(self, key: tuple):
+        node = self.data
+        for part in key:
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        return node
+
+    def check(self, key: tuple, actual: dict) -> None:
+        if self.regen:
+            self.captured[key] = actual
+            return
+        expected = self._lookup(key)
+        label = ".".join(key)
+        if expected is None:
+            pytest.fail(
+                f"no golden recorded for {label!r} in {self.path}.\n"
+                f"If this trial is new, capture it with:\n"
+                f"    {REGEN_COMMAND}", pytrace=False)
+        # JSON round-trip the capture so tuples/lists compare alike.
+        actual = json.loads(json.dumps(actual))
+        if actual != expected:
+            from repro.perf.diffcheck import first_diff
+
+            diff = first_diff(actual, expected)
+            pytest.fail(
+                f"golden identity drift at {label!r}:\n"
+                f"    {diff}\n"
+                "The optimized hot path no longer reproduces the seed "
+                "simulator bit for bit.  If (and ONLY if) this is an "
+                "intentional physics change, regenerate the goldens "
+                "with:\n"
+                f"    {REGEN_COMMAND}\n"
+                "then review the diff of tests/golden/"
+                "golden_identity.json and call the physics change out "
+                "in the commit message.", pytrace=False)
+
+    def require_keys(self, keys: list[tuple]) -> None:
+        if self.regen:
+            return
+        missing = [".".join(k) for k in keys if self._lookup(k) is None]
+        if missing:
+            pytest.fail(
+                f"goldens file {self.path} lacks entries for: "
+                f"{', '.join(missing)}.\nRegenerate the full set with:\n"
+                f"    {REGEN_COMMAND}", pytrace=False)
+
+    def flush(self) -> None:
+        if not self.regen or not self.captured:
+            return
+        for key, value in self.captured.items():
+            node = self.data
+            for part in key[:-1]:
+                node = node.setdefault(part, {})
+            node[key[-1]] = json.loads(json.dumps(value))
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "w") as handle:
+            json.dump(self.data, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+
+
+@pytest.fixture(scope="session")
+def golden_store(request) -> GoldenStore:
+    store = GoldenStore(GOLDEN_PATH,
+                        request.config.getoption("--regen-golden"))
+    yield store
+    store.flush()
 
 
 @pytest.fixture

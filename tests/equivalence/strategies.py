@@ -1,0 +1,29 @@
+"""Property-based scenario strategies for the equivalence suite.
+
+The generators live in :mod:`repro.scenario.fuzz` (the ``repro
+diffcheck`` CLI sweeps them without importing the test tree); this
+module re-exports them for test-suite use and adds the pytest-facing
+corpus helpers.
+
+>>> from tests.equivalence.strategies import random_spec
+>>> random_spec(7).cache_key() == random_spec(7).cache_key()
+True
+"""
+
+from __future__ import annotations
+
+from repro.scenario.fuzz import (  # noqa: F401  (re-exports)
+    FUZZ_DEFENSES,
+    random_spec,
+    random_specs,
+    random_system,
+)
+
+#: Seeds the in-tree equivalence tests sweep.  Distinct from the CLI
+#: default corpus so CI exercises fresh specs beyond the smoke sweep.
+TEST_CORPUS_SEEDS = tuple(range(1200, 1212))
+
+
+def corpus():
+    """The test corpus as (seed, spec) pairs."""
+    return [(seed, random_spec(seed)) for seed in TEST_CORPUS_SEEDS]

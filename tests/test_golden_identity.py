@@ -1,16 +1,21 @@
 """Golden-output pinning: the optimized hot path must be bit-identical
 to the seed implementation.
 
-The expected values below were captured by running the *seed* (pre-
-optimization) simulator on fixed-seed covert-channel trials.  Any
-change to the event engine, controller scheduling, bus arbitration,
+The expected values live in ``tests/golden/golden_identity.json``,
+captured from the *seed* (pre-optimization) simulator on fixed-seed
+covert-channel trials.  Any change to the event engine, controller
+scheduling, wake elision, steady-state fast-forward, bus arbitration,
 address mapping or statistics bookkeeping that alters simulation
-physics -- even a reordered tie-break -- shows up here as a counter,
-interval, timestamp or checksum mismatch.
+physics -- even a reordered tie-break -- fails here with a readable
+per-field diff and the exact regeneration command.
 
-If one of these assertions fires after an intentional *physics* change
-(e.g. a modeling fix), regenerate the constants and say so loudly in
-the commit; a perf-only PR must never need to.
+If a test fails after an intentional *physics* change (e.g. a modeling
+fix), regenerate the goldens with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_identity.py --regen-golden
+
+review the resulting diff of the JSON file, and say so loudly in the
+commit; a perf-only PR must never need to.
 """
 
 import pytest
@@ -23,56 +28,7 @@ from repro.sim.engine import US
 #: Fixed message used by every golden trial.
 MESSAGE = [1, 0, 1, 1, 0, 0, 1, 0]
 
-#: Seed-captured ground truth for PracCovertChannel trials (noise level
-#: -> expectations).  ``delta_checksum``/``end_checksum`` pin every
-#: receiver sample; ``final_now`` pins the simulation end time.
-GOLDEN_PRAC = {
-    None: {
-        "counters": {"activations": 1063, "backoffs": 4, "refreshes": 26,
-                     "requests": 3149, "rfm_commands": 0,
-                     "row_conflicts": 1034, "row_hits": 2086,
-                     "row_misses": 29},
-        "precharges": 1034,
-        "n_blocks": 30,
-        "first_block": ("ref", 7827330, 8417330, 0),
-        "last_block": ("ref", 202800000, 203390000, 0),
-        "final_now": 205020000,
-        "n_samples": 2624,
-        "delta_checksum": 160182890,
-        "end_checksum": 3222544,
-    },
-    50.0: {
-        "counters": {"activations": 1286, "backoffs": 4, "refreshes": 26,
-                     "requests": 3014, "rfm_commands": 0,
-                     "row_conflicts": 1256, "row_hits": 1728,
-                     "row_misses": 30},
-        "precharges": 1256,
-        "n_blocks": 30,
-        "first_block": ("ref", 7843330, 8433330, 0),
-        "last_block": ("ref", 202800000, 203390000, 0),
-        "final_now": 205020000,
-        "n_samples": 2304,
-        "delta_checksum": 151050810,
-        "end_checksum": 1460731815,
-    },
-}
-
-#: Seed-captured end-to-end transmission results.
-GOLDEN_TRANSMISSIONS = {
-    "prac": {
-        "decoded": [1, 0, 1, 1, 0, 0, 1, 0],
-        "ground_truth_backoffs": 4,
-        "ground_truth_rfms": 0,
-        "window_samples": [129, 482, 98, 131, 482, 483, 70, 481],
-    },
-    "rfm": {
-        "sent": [0, 1, 1, 0, 1, 0, 0, 1],
-        "decoded": [0, 1, 1, 0, 1, 0, 0, 1],
-        "ground_truth_backoffs": 0,
-        "ground_truth_rfms": 39,
-        "window_samples": [385, 160, 161, 371, 157, 383, 372, 161],
-    },
-}
+RFM_MESSAGE = [0, 1, 1, 0, 1, 0, 0, 1]
 
 
 def run_prac_system(noise):
@@ -84,46 +40,63 @@ def run_prac_system(noise):
     return system, receiver
 
 
-@pytest.mark.parametrize("noise", [None, 50.0])
-def test_prac_trial_bit_identical_to_seed(noise):
+def prac_trial_capture(noise) -> dict:
+    """The golden-relevant observables of one fixed-seed PRAC trial,
+    in the exact shape of ``golden_identity.json``."""
     system, receiver = run_prac_system(noise)
-    golden = GOLDEN_PRAC[noise]
     stats = system.stats
-
-    assert stats.act_rate_summary == golden["counters"]
-    assert stats.precharges == golden["precharges"]
-    assert len(stats.blocks) == golden["n_blocks"]
-
     first, last = stats.blocks[0], stats.blocks[-1]
-    assert (first.kind.value, first.start, first.end,
-            first.rank) == golden["first_block"]
-    assert (last.kind.value, last.start, last.end,
-            last.rank) == golden["last_block"]
+    return {
+        "counters": dict(stats.act_rate_summary),
+        "precharges": stats.precharges,
+        "n_blocks": len(stats.blocks),
+        "first_block": [first.kind.value, first.start, first.end,
+                        first.rank],
+        "last_block": [last.kind.value, last.start, last.end, last.rank],
+        "final_now": system.sim.now,
+        "n_samples": len(receiver.samples),
+        "delta_checksum": sum(s.delta for s in receiver.samples) % (1 << 31),
+        "end_checksum": sum(s.end_time for s in receiver.samples) % (1 << 31),
+    }
 
-    assert system.sim.now == golden["final_now"]
-    assert len(receiver.samples) == golden["n_samples"]
-    assert sum(s.delta for s in receiver.samples) % (1 << 31) \
-        == golden["delta_checksum"]
-    assert sum(s.end_time for s in receiver.samples) % (1 << 31) \
-        == golden["end_checksum"]
+
+def transmission_capture(result) -> dict:
+    return {
+        "sent": list(result.sent),
+        "decoded": list(result.decoded),
+        "ground_truth_backoffs": result.ground_truth_backoffs,
+        "ground_truth_rfms": result.ground_truth_rfms,
+        "window_samples": [w.samples for w in result.windows],
+    }
 
 
-def test_prac_transmission_bit_identical_to_seed():
+@pytest.mark.parametrize("noise", [None, 50.0])
+def test_prac_trial_bit_identical_to_seed(noise, golden_store):
+    key = "none" if noise is None else str(noise)
+    golden_store.check(("prac_trial", key), prac_trial_capture(noise))
+
+
+def test_prac_transmission_bit_identical_to_seed(golden_store):
     channel = PracCovertChannel(PracChannelConfig(noise_intensity=30.0))
-    result = channel.transmit(MESSAGE)
-    golden = GOLDEN_TRANSMISSIONS["prac"]
-    assert result.sent == MESSAGE
-    assert result.decoded == golden["decoded"]
-    assert result.ground_truth_backoffs == golden["ground_truth_backoffs"]
-    assert result.ground_truth_rfms == golden["ground_truth_rfms"]
-    assert [w.samples for w in result.windows] == golden["window_samples"]
+    result = channel.transmit(list(MESSAGE))
+    golden_store.check(("transmissions", "prac"),
+                       transmission_capture(result))
 
 
-def test_rfm_transmission_bit_identical_to_seed():
+def test_rfm_transmission_bit_identical_to_seed(golden_store):
     channel = RfmCovertChannel(RfmChannelConfig(noise_intensity=30.0))
-    golden = GOLDEN_TRANSMISSIONS["rfm"]
-    result = channel.transmit(list(golden["sent"]))
-    assert result.decoded == golden["decoded"]
-    assert result.ground_truth_backoffs == golden["ground_truth_backoffs"]
-    assert result.ground_truth_rfms == golden["ground_truth_rfms"]
-    assert [w.samples for w in result.windows] == golden["window_samples"]
+    result = channel.transmit(list(RFM_MESSAGE))
+    golden_store.check(("transmissions", "rfm"),
+                       transmission_capture(result))
+
+
+def test_golden_file_is_complete(golden_store):
+    """Guard: the goldens file itself must cover every pinned trial --
+    a missing key means someone regenerated with a subset of the tests
+    selected, which would silently unpin physics."""
+    golden_store.require_keys([
+        ("prac_trial", "none"),
+        ("prac_trial", "50.0"),
+        ("transmissions", "prac"),
+        ("transmissions", "rfm"),
+    ])

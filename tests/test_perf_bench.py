@@ -119,3 +119,49 @@ class TestRunBench:
         run_bench(quick=True, out_dir=tmp_path)
         doc = run_bench(quick=True, out_dir=tmp_path, no_compare=True)
         assert "comparison" not in doc
+
+
+class TestCompareCli:
+    """``repro bench --compare A.json B.json`` (committed-file ratios)."""
+
+    @staticmethod
+    def _write(path, label, quick, metrics):
+        doc = {"schema": 1, "label": label, "quick": quick,
+               "timestamp": "x", "metrics": metrics}
+        path.write_text(json.dumps(doc))
+
+    def test_ratio_table_between_two_files(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        old = tmp_path / "BENCH_a.json"
+        new = tmp_path / "BENCH_b.json"
+        self._write(old, "before", False,
+                    {"controller_hit_requests_per_sec": 100_000,
+                     "report_no_cache_seconds": 1.0})
+        self._write(new, "after", False,
+                    {"controller_hit_requests_per_sec": 200_000,
+                     "report_no_cache_seconds": 0.5})
+        rc = main(["bench", "--compare", str(old), str(new)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2.00x" in out  # both the rate and the duration doubled
+        assert "bench compare" in out
+        assert "after" in out and "before" in out
+
+    def test_quick_vs_full_refused(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        old = tmp_path / "BENCH_a.json"
+        new = tmp_path / "BENCH_b.json"
+        self._write(old, "q", True, {"engine_events_per_sec": 1})
+        self._write(new, "f", False, {"engine_events_per_sec": 1})
+        assert main(["bench", "--compare", str(old), str(new)]) == 2
+        assert "not comparable" in capsys.readouterr().err
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        rc = main(["bench", "--compare", str(tmp_path / "nope.json"),
+                   str(tmp_path / "also-nope.json")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
