@@ -4,11 +4,15 @@ Subcommands::
 
     python -m repro list [--tag prac]     # experiment catalog
     python -m repro run fig4 --workers 8  # one experiment, parallel sweep
+    python -m repro run fig4 --backend shards --workers 4
     python -m repro run fig4 --out r.json # persist tables + raw data
     python -m repro report                # quick reproduction report
     python -m repro scenario list         # scenario presets + kinds
     python -m repro scenario describe prac-covert
     python -m repro scenario run prac-probe -p system.defense.nbo=64
+    python -m repro cache stats           # result-cache introspection
+    python -m repro cache prune --older-than 7d
+    python -m repro worker                # sweep-worker daemon (internal)
 
 ``run`` and ``scenario run`` go through the on-disk result cache
 (``.repro-cache/`` or ``$REPRO_CACHE_DIR``); ``--no-cache`` forces a
@@ -16,6 +20,12 @@ fresh execution.  Arbitrary driver parameters pass through ``-p
 key=value`` (values are parsed as JSON, falling back to strings); for
 scenarios the key is a dotted path into the spec
 (``agents.0.params.max_samples=64``).
+
+Sweeps execute through a pluggable backend (``serial``, ``pool``, or
+the ``shards`` worker fleet; see :mod:`repro.dist`): ``--backend NAME``
+wins over the ``REPRO_BACKEND`` environment variable, which wins over
+the ``auto`` heuristic.  When stderr is a terminal, sweeps show a live
+``k/N trials (cache: h hits)`` line.
 
 For backwards compatibility, ``python -m repro`` with no subcommand
 behaves like ``report``.
@@ -82,6 +92,33 @@ def _write_json(path: str, doc: dict) -> None:
 
 
 @contextlib.contextmanager
+def _execution(args):
+    """Install the sweep-execution context a subcommand asked for:
+    backend selection (``--backend``), the per-trial result cache
+    (streams results as trials land; disabled by ``--no-cache``), and
+    the live TTY progress line."""
+    from repro.dist import check_backend_name, execution
+    from repro.dist.progress import tty_progress
+
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        check_backend_name(backend)  # BackendError before any work
+    trial_cache = None
+    if not getattr(args, "no_cache", False):
+        from repro.exp.cache import ResultCache
+
+        trial_cache = ResultCache(getattr(args, "cache_dir", None))
+    progress = tty_progress()
+    with execution(backend=backend, trial_cache=trial_cache,
+                   progress=progress):
+        try:
+            yield
+        finally:
+            if progress is not None:
+                progress.finish()
+
+
+@contextlib.contextmanager
 def _gc_paused():
     """Run simulations with the cyclic GC paused.
 
@@ -135,14 +172,16 @@ def cmd_list(args) -> int:
 
 
 def cmd_run(args) -> int:
+    from repro.dist import BackendError
+
     params = dict(args.param or [])
     try:
-        with _gc_paused():
+        with _execution(args), _gc_paused():
             run = run_experiment(
                 args.experiment, params, workers=args.workers,
                 seed=args.seed, use_cache=not args.no_cache,
                 cache_dir=args.cache_dir)
-    except (RegistryError, ExperimentParamError) as exc:
+    except (RegistryError, ExperimentParamError, BackendError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -287,7 +326,7 @@ def cmd_scenario_run(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
-        with _gc_paused():
+        with _execution(args), _gc_paused():
             run = run_scenario(spec, use_cache=not args.no_cache,
                                cache_dir=args.cache_dir)
     except (ScenarioError, ValueError, RuntimeError) as exc:
@@ -348,11 +387,19 @@ def cmd_diffcheck(args) -> int:
         fuzz = args.fuzz if args.fuzz is not None else 0
         if not args.experiment and not args.all and not args.quick:
             experiments = []
-    with _gc_paused():
-        report = run_diffcheck(
-            experiments=experiments, fuzz=fuzz, fuzz_seed=args.fuzz_seed,
-            spec_files=args.spec, artifact_dir=args.artifact_dir,
-            log=lambda msg: print(f"[diffcheck] {msg}", file=sys.stderr))
+    from repro.dist import BackendError
+
+    try:
+        with _gc_paused():
+            report = run_diffcheck(
+                experiments=experiments, fuzz=fuzz,
+                fuzz_seed=args.fuzz_seed, spec_files=args.spec,
+                artifact_dir=args.artifact_dir, backend=args.backend,
+                log=lambda msg: print(f"[diffcheck] {msg}",
+                                      file=sys.stderr))
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.to_text())
     if not report.ok:
         print("\ndiffcheck: fast-forward results DIVERGED from the "
@@ -360,6 +407,87 @@ def cmd_diffcheck(args) -> int:
               file=sys.stderr)
         return 1
     return 0
+
+
+# ----------------------------------------------------------------------
+# Cache + worker subcommands
+# ----------------------------------------------------------------------
+def _parse_age(text: str) -> float:
+    """``7d`` / ``12h`` / ``30m`` / ``45s`` / plain seconds -> seconds."""
+    text = text.strip().lower()
+    units = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+    scale = 1.0
+    if text and text[-1] in units:
+        scale = units[text[-1]]
+        text = text[:-1]
+    try:
+        value = float(text)
+    except ValueError:
+        raise ValueError(
+            f"bad age {text!r}: expected a number with an optional "
+            "s/m/h/d suffix (e.g. 7d, 12h, 1800)") from None
+    if value < 0:
+        raise ValueError("age must be >= 0")
+    return value * scale
+
+
+def _format_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
+def _format_age(seconds: float | None) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 86400:
+        return f"{seconds / 86400:.1f}d"
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def cmd_cache(args) -> int:
+    from repro.exp.cache import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.cache_command == "stats":
+        stats = cache.stats()
+        table = FigureTable("Result cache", ["property", "value"])
+        table.add_row("directory", stats["directory"])
+        table.add_row("entries", stats["entries"])
+        table.add_row("total size", _format_bytes(stats["total_bytes"]))
+        table.add_row("oldest entry", _format_age(stats["oldest_age_s"]))
+        table.add_row("newest entry", _format_age(stats["newest_age_s"]))
+        print(table.to_text())
+        return 0
+    if args.cache_command == "prune":
+        try:
+            age = _parse_age(args.older_than)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        removed, freed = cache.prune(age)
+        print(f"pruned {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"older than {args.older_than} "
+              f"({_format_bytes(freed)} freed) from {cache.directory}")
+        return 0
+    if args.cache_command == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {cache.directory}")
+        return 0
+    raise AssertionError(args.cache_command)  # pragma: no cover
+
+
+def cmd_worker(args) -> int:
+    from repro.dist.worker import main as worker_main
+
+    return worker_main(["--no-warm"] if args.no_warm else [])
 
 
 def get_canonical_name(name: str) -> str:
@@ -383,10 +511,16 @@ def _auto_workers(requested: int | None) -> int | None:
 
 
 def cmd_report(args) -> int:
-    with _gc_paused():
-        report = quick_report(workers=_auto_workers(args.workers),
-                              use_cache=not args.no_cache,
-                              cache_dir=args.cache_dir)
+    from repro.dist import BackendError
+
+    try:
+        with _execution(args), _gc_paused():
+            report = quick_report(workers=_auto_workers(args.workers),
+                                  use_cache=not args.no_cache,
+                                  cache_dir=args.cache_dir)
+    except BackendError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(report.to_markdown())
     if args.save:
         path = report.save(args.save)
@@ -397,12 +531,20 @@ def cmd_report(args) -> int:
 # ----------------------------------------------------------------------
 # Parser
 # ----------------------------------------------------------------------
+def _add_backend_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", default=None, metavar="NAME",
+                        help="sweep execution backend: serial, pool, "
+                             "shards, or auto (default; wins over "
+                             "$REPRO_BACKEND)")
+
+
 def _add_execution_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="fan independent trials out over N worker "
                              "processes (report defaults to the CPU "
                              "count, capped at 8; run defaults to "
                              "serial; 1 forces serial)")
+    _add_backend_option(parser)
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the on-disk result cache")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -478,6 +620,7 @@ def build_parser() -> argparse.ArgumentParser:
     s_run = scenario_sub.add_parser(
         "run", help="build + run a spec through the result cache")
     _add_scenario_source(s_run)
+    _add_backend_option(s_run)
     s_run.add_argument("--no-cache", action="store_true",
                        help="skip the on-disk result cache")
     s_run.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -526,7 +669,34 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("--artifact-dir", default=None, metavar="DIR",
                         help="directory for shrunken failing-spec "
                              "artifacts (default: current directory)")
+    _add_backend_option(p_diff)
     p_diff.set_defaults(func=cmd_diffcheck)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect / prune / clear the on-disk result cache")
+    cache_sub = p_cache.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+            ("stats", "entry count, total size, entry ages"),
+            ("prune", "delete entries older than --older-than"),
+            ("clear", "delete every entry")):
+        c_sub = cache_sub.add_parser(name, help=help_text)
+        c_sub.add_argument("--cache-dir", default=None, metavar="DIR",
+                           help="result cache directory (default: "
+                                ".repro-cache or $REPRO_CACHE_DIR)")
+        if name == "prune":
+            c_sub.add_argument("--older-than", required=True,
+                               metavar="AGE",
+                               help="age threshold, e.g. 7d, 12h, 30m, "
+                                    "or plain seconds")
+        c_sub.set_defaults(func=cmd_cache)
+
+    p_worker = sub.add_parser(
+        "worker", help="sweep-worker daemon: reads NDJSON task frames "
+                       "on stdin, writes result frames on stdout "
+                       "(spawned by the shards backend; see repro.dist)")
+    p_worker.add_argument("--no-warm", action="store_true",
+                          help="skip preloading the simulator modules")
+    p_worker.set_defaults(func=cmd_worker)
     return parser
 
 

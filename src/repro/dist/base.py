@@ -1,0 +1,195 @@
+"""Execution-backend protocol and registry.
+
+A *backend* is the thing that actually runs a sweep's trials:
+``serial`` executes them in-process, ``pool`` fans them out over a
+:class:`~concurrent.futures.ProcessPoolExecutor`, and ``shards``
+dispatches them to long-lived ``python -m repro worker`` daemons over
+newline-delimited JSON.  Every backend honors the same contract, which
+is the whole point of the subsystem:
+
+* trials are **pure data** — a module-level function reference plus a
+  JSON-round-trippable point (and an optional pre-derived seed);
+* results come back **in point order** and are **bit-identical to the
+  serial path**, because each trial is an isolated, deterministic
+  simulation and seeds are assigned by point index, never by worker
+  placement;
+* a backend that cannot run (no fork, spawn failure, unaddressable
+  trial function) raises :class:`BackendUnavailable`, and the caller
+  (:func:`repro.exp.runner.map_trials`) falls back to serial with a
+  warning naming the backend and the exception.
+
+Backends register lazily so importing :mod:`repro.dist` stays cheap;
+``get_backend`` instantiates on first use and caches the instance, so
+a backend with expensive state (the shards fleet) amortizes it across
+every sweep in the process.
+"""
+
+from __future__ import annotations
+
+import abc
+import atexit
+import importlib
+import os
+from typing import Callable, Sequence
+
+#: Environment variable selecting the default backend (the ``--backend``
+#: CLI flag takes precedence; see :func:`resolve_backend_name`).
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Set in worker processes; forces nested ``map_trials`` calls to the
+#: serial backend so a shipped trial can never recursively spawn fleets.
+IN_WORKER_ENV = "REPRO_IN_WORKER"
+
+#: The placement heuristic name: ``pool`` for multi-worker sweeps,
+#: ``serial`` otherwise (exactly the pre-backend behavior).
+AUTO = "auto"
+
+
+class BackendError(ValueError):
+    """Unknown backend name or invalid backend configuration."""
+
+
+class BackendUnavailable(RuntimeError):
+    """A backend cannot run here; the caller should fall back to serial.
+
+    Carries the underlying reason (an exception or a string) so the
+    fallback warning can say *why* the backend was unusable.
+    """
+
+    def __init__(self, reason: object) -> None:
+        super().__init__(str(reason))
+        self.reason = reason
+
+
+class Backend(abc.ABC):
+    """One way of executing a list of independent trials.
+
+    Subclasses implement :meth:`run`; everything above the backend
+    (seed derivation, caching, fallback, progress) lives in
+    :func:`repro.exp.runner.map_trials` so backends stay small.
+    """
+
+    #: Registry name (also what ``--backend`` and ``REPRO_BACKEND`` use).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def run(self, fn: Callable, points: Sequence, seeds: Sequence, *,
+            workers: int | None = None,
+            on_result: Callable[[int, object], None] | None = None) -> list:
+        """Execute ``fn`` over every point; results in point order.
+
+        ``seeds[i]`` is the pre-derived per-trial seed of ``points[i]``
+        (``None`` for unseeded trials) — backends never derive seeds
+        themselves, which is what keeps results independent of worker
+        placement.  ``on_result(i, value)`` is invoked as each result
+        lands (possibly out of point order) so the caller can stream
+        results into the on-disk cache and drive progress reporting.
+
+        A trial exception propagates unchanged.  Backend-machinery
+        failure raises :class:`BackendUnavailable` instead.
+        """
+
+    def close(self) -> None:
+        """Release backend resources (worker fleets, pools)."""
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+#: Lazy factories: name -> "module:ClassName" (or a Backend subclass
+#: registered at runtime via register_backend).
+_FACTORIES: dict[str, str | type] = {
+    "serial": "repro.dist.serial:SerialBackend",
+    "pool": "repro.dist.pool:PoolBackend",
+    "shards": "repro.dist.shards:ShardsBackend",
+}
+
+_instances: dict[str, Backend] = {}
+
+
+def register_backend(name: str, factory: str | type) -> None:
+    """Register a backend under ``name``.
+
+    ``factory`` is a Backend subclass or a ``"module:ClassName"``
+    string (resolved lazily on first :func:`get_backend`).
+    """
+    if not name or name == AUTO:
+        raise BackendError(f"invalid backend name {name!r}")
+    _FACTORIES[name] = factory
+    _instances.pop(name, None)
+
+
+def unregister_backend(name: str) -> None:
+    """Remove a runtime-registered backend (test hygiene)."""
+    instance = _instances.pop(name, None)
+    if instance is not None:
+        instance.close()
+    _FACTORIES.pop(name, None)
+
+
+def backend_names() -> list[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_FACTORIES)
+
+
+def check_backend_name(name: str) -> str:
+    """Validate a user-supplied backend name (``auto`` allowed)."""
+    if name == AUTO or name in _FACTORIES:
+        return name
+    raise BackendError(
+        f"unknown backend {name!r}; known backends: "
+        f"{', '.join([AUTO] + backend_names())}")
+
+
+def get_backend(name: str) -> Backend:
+    """Resolve ``name`` to its (cached) backend instance."""
+    instance = _instances.get(name)
+    if instance is not None:
+        return instance
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise BackendError(
+            f"unknown backend {name!r}; known backends: "
+            f"{', '.join(backend_names())}")
+    if isinstance(factory, str):
+        module_name, _, class_name = factory.partition(":")
+        factory = getattr(importlib.import_module(module_name), class_name)
+    instance = factory()
+    _instances[name] = instance
+    return instance
+
+
+def shutdown_backends() -> None:
+    """Close every instantiated backend (atexit + test teardown)."""
+    while _instances:
+        _, instance = _instances.popitem()
+        try:
+            instance.close()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+atexit.register(shutdown_backends)
+
+
+def resolve_backend_name(explicit: str | None = None, *,
+                         workers: int | None = None,
+                         n_points: int | None = None) -> str:
+    """Pick the backend for one sweep.
+
+    Precedence: inside a worker process everything is serial (a shipped
+    trial must never spawn its own fleet); otherwise an explicit name
+    (``--backend`` / ``map_trials(backend=...)`` / execution context)
+    wins over the ``REPRO_BACKEND`` environment variable, which wins
+    over the ``auto`` heuristic — ``pool`` when the sweep asks for
+    multiple workers over multiple points, ``serial`` otherwise.
+    """
+    if os.environ.get(IN_WORKER_ENV):
+        return "serial"
+    name = explicit or os.environ.get(BACKEND_ENV, "").strip() or AUTO
+    name = check_backend_name(name)
+    if name != AUTO:
+        return name
+    parallel = (workers is not None and workers > 1
+                and (n_points is None or n_points > 1))
+    return "pool" if parallel else "serial"

@@ -1,0 +1,59 @@
+"""Per-run execution context threaded under ``map_trials``.
+
+``workers`` travels through driver signatures (it predates this
+subsystem), but backend selection, the per-trial result cache, and the
+progress callback would have to be added to every sweep helper and
+driver to reach :func:`repro.exp.runner.map_trials` the same way.
+Instead the CLI (and tests) install them ambiently::
+
+    with execution(backend="shards", trial_cache=cache, progress=cb):
+        run_experiment("fig4", {...}, workers=4)
+
+Every ``map_trials`` call inside the block picks them up unless given
+explicitly.  Contexts nest; inner values override outer ones field by
+field.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """Ambient sweep-execution settings (all optional)."""
+
+    #: Backend name for ``map_trials`` (None -> env var / auto).
+    backend: str | None = None
+    #: :class:`~repro.exp.cache.ResultCache` streaming per-trial results
+    #: (partial sweeps resume from it instead of restarting).
+    trial_cache: object | None = None
+    #: ``progress(done, total, cache_hits)`` called as trials land.
+    progress: Callable[[int, int, int], None] | None = None
+
+
+_stack: list[ExecutionContext] = [ExecutionContext()]
+
+
+def current_execution() -> ExecutionContext:
+    """The innermost active execution context."""
+    return _stack[-1]
+
+
+@contextmanager
+def execution(backend: str | None = None, trial_cache=None,
+              progress=None):
+    """Install an execution context for the duration of the block."""
+    outer = _stack[-1]
+    ctx = ExecutionContext(
+        backend=backend if backend is not None else outer.backend,
+        trial_cache=(trial_cache if trial_cache is not None
+                     else outer.trial_cache),
+        progress=progress if progress is not None else outer.progress)
+    _stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        _stack.pop()

@@ -1,0 +1,49 @@
+"""Live sweep progress: one updating stderr line.
+
+``map_trials`` invokes its progress callback as ``progress(done,
+total, cache_hits)`` every time a trial lands (or is served from the
+per-trial cache).  :class:`SweepProgress` renders that as::
+
+    17/44 trials (cache: 12 hits)
+
+rewriting the same line in place.  :func:`tty_progress` hands one out
+only when stderr is an interactive terminal — piped/CI output never
+sees control characters.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+class SweepProgress:
+    """Carriage-return progress line on a terminal stream."""
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._active = False
+
+    def __call__(self, done: int, total: int, cache_hits: int) -> None:
+        if total <= 0:
+            return
+        line = f"{done}/{total} trials (cache: {cache_hits} hits)"
+        self.stream.write(f"\r{line}\x1b[K")
+        self.stream.flush()
+        self._active = True
+
+    def finish(self) -> None:
+        """Clear the transient line (the real output follows)."""
+        if self._active:
+            self.stream.write("\r\x1b[K")
+            self.stream.flush()
+            self._active = False
+
+
+def tty_progress(stream=None):
+    """A :class:`SweepProgress` when the stream is a TTY, else ``None``."""
+    stream = stream if stream is not None else sys.stderr
+    try:
+        is_tty = stream.isatty()
+    except (AttributeError, ValueError):
+        is_tty = False
+    return SweepProgress(stream) if is_tty else None

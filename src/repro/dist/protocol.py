@@ -1,0 +1,181 @@
+"""Wire protocol shared by the sweep coordinator and its workers.
+
+Frames are newline-delimited JSON objects — one frame per line, UTF-8,
+no embedded newlines.  Coordinator -> worker::
+
+    {"op": "run", "id": "3:17", "fn": "pkg.mod:trial",
+     "point": {...}, "seed": 123 | null, "ff": "off" | "on" | null}
+    {"op": "ping", "id": "..."}
+    {"op": "shutdown"}
+
+Worker -> coordinator::
+
+    {"op": "hello", "pid": 4242, "version": 1}
+    {"op": "pong", "id": "..."}
+    {"id": "3:17", "ok": true,  "result": <value>}
+    {"id": "3:17", "ok": false, "error": <value>, "exc": "ValueError(...)",
+     "traceback": "..."}
+
+Values (points, results, shipped exceptions) are encoded JSON-natively
+when — and only when — the JSON round trip reproduces the Python value
+*exactly* (``json.loads(json.dumps(v)) == v``); anything else (tuples,
+int-keyed dicts, NaNs, exception objects) rides as a base64 pickle
+under the ``"p"`` tag.  That keeps the common sweep payloads (the
+pure-dict points and dict results the drivers ship since PR 3) human-
+readable on the wire while guaranteeing the distributed sweep is
+bit-identical to the serial one at the Python-object level, not merely
+JSON-equal.  Pickle is acceptable here because both ends of the pipe
+are processes we spawned from the same source tree; a future
+cross-trust-boundary transport would restrict itself to the JSON-native
+subset.
+
+``ff`` carries the coordinator's process-local fast-forward forced
+mode (see :func:`repro.sim.fastforward.forced`) so a differential
+equivalence check driven through a remote backend still pins its
+baseline and fast-forward runs correctly inside the workers.
+"""
+
+from __future__ import annotations
+
+import base64
+import importlib
+import json
+import pickle
+import sys
+
+#: Protocol version announced in the worker's hello frame.
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(RuntimeError):
+    """Malformed frame or unresolvable trial-function reference."""
+
+
+class RemoteTrialError(RuntimeError):
+    """A worker-side trial failure that could not be reconstructed as
+    its original exception type (carries the remote traceback text)."""
+
+
+# ----------------------------------------------------------------------
+# Value encoding
+# ----------------------------------------------------------------------
+def encode_value(value) -> dict:
+    """Encode ``value`` as ``{"j": ...}`` (exact-JSON) or ``{"p": b64}``."""
+    try:
+        if json.loads(json.dumps(value)) == value:
+            return {"j": value}
+    except (TypeError, ValueError, RecursionError):
+        pass
+    payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return {"p": base64.b64encode(payload).decode("ascii")}
+
+
+def decode_value(obj: dict):
+    """Inverse of :func:`encode_value`."""
+    if "j" in obj:
+        return obj["j"]
+    if "p" in obj:
+        return pickle.loads(base64.b64decode(obj["p"]))
+    raise ProtocolError(f"undecodable value frame: {obj!r}")
+
+
+# ----------------------------------------------------------------------
+# Trial-function addressing
+# ----------------------------------------------------------------------
+def fn_ref(fn) -> str | None:
+    """``"module:qualname"`` reference of a module-level callable.
+
+    Returns ``None`` when ``fn`` is not addressable across processes —
+    a lambda, a nested function, a bound method, or anything whose
+    reference does not resolve back to the very same object.
+    """
+    module = getattr(fn, "__module__", None)
+    qualname = getattr(fn, "__qualname__", None)
+    if not module or not qualname or "." in qualname or "<" in qualname:
+        return None
+    if module in ("__main__", "__mp_main__"):
+        # Resolvable here, but another process's __main__ is a
+        # different module entirely — not addressable, not cacheable.
+        return None
+    ref = f"{module}:{qualname}"
+    try:
+        if resolve_fn(ref) is not fn:
+            return None
+    except Exception:
+        return None
+    return ref
+
+
+def resolve_fn(ref: str):
+    """Import and return the callable a :func:`fn_ref` string names."""
+    module_name, sep, qualname = ref.partition(":")
+    if not sep or not module_name or not qualname:
+        raise ProtocolError(f"bad trial-function reference {ref!r}")
+    module = sys.modules.get(module_name)
+    if module is None:
+        module = importlib.import_module(module_name)
+    try:
+        return getattr(module, qualname)
+    except AttributeError:
+        raise ProtocolError(
+            f"module {module_name!r} has no attribute {qualname!r}") from None
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def dump_frame(frame: dict) -> str:
+    """One wire line (terminated) for ``frame``."""
+    return json.dumps(frame, separators=(",", ":")) + "\n"
+
+
+def parse_frame(line: str) -> dict | None:
+    """Parse one wire line; ``None`` for blank/non-frame lines (stray
+    output that escaped to the protocol stream is noise, not a crash)."""
+    line = line.strip()
+    if not line or not line.startswith("{"):
+        return None
+    try:
+        frame = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    return frame if isinstance(frame, dict) else None
+
+
+def task_frame(task_id: str, ref: str, point, seed, ff: str | None) -> dict:
+    return {"op": "run", "id": task_id, "fn": ref,
+            "point": encode_value(point), "seed": seed, "ff": ff}
+
+
+def error_frame(task_id: str, exc: BaseException, traceback_text: str) -> dict:
+    """Ship a trial failure; the exception object rides along when it
+    pickles, so the coordinator re-raises the original type."""
+    frame = {"id": task_id, "ok": False, "exc": repr(exc),
+             "traceback": traceback_text}
+    try:
+        frame["error"] = encode_value(exc)
+    except Exception:  # unpicklable exception: textual fallback only
+        pass
+    return frame
+
+
+def raise_remote(frame: dict) -> None:
+    """Re-raise the failure an error frame describes.
+
+    The original exception is raised when it was shippable; otherwise a
+    :class:`RemoteTrialError` carrying the remote repr + traceback.
+    The remote traceback is chained as the cause either way, so the
+    worker-side context is never lost.
+    """
+    remote = RemoteTrialError(
+        f"trial failed in worker: {frame.get('exc', '?')}\n"
+        f"{frame.get('traceback', '')}".rstrip())
+    encoded = frame.get("error")
+    if encoded is not None:
+        try:
+            exc = decode_value(encoded)
+        except Exception:
+            exc = None
+        if isinstance(exc, BaseException):
+            raise exc from remote
+    raise remote

@@ -1,0 +1,33 @@
+"""In-process trial execution — the reference backend.
+
+Every other backend's contract is "bit-identical to what this one
+returns"; it is also the universal fallback when a fancier backend is
+unavailable, and the forced backend inside worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.dist.base import Backend
+
+
+def call_point(fn: Callable, point, seed):
+    """The one true trial call shape (shared with the pool workers)."""
+    if seed is None:
+        return fn(point)
+    return fn(point, seed)
+
+
+class SerialBackend(Backend):
+    name = "serial"
+
+    def run(self, fn, points: Sequence, seeds: Sequence, *,
+            workers: int | None = None, on_result=None) -> list:
+        results = []
+        for i, (point, seed) in enumerate(zip(points, seeds)):
+            value = call_point(fn, point, seed)
+            results.append(value)
+            if on_result is not None:
+                on_result(i, value)
+        return results

@@ -1,0 +1,323 @@
+"""Shards backend: a coordinator over long-lived worker daemons.
+
+``get_backend("shards")`` owns a fleet of ``python -m repro worker``
+subprocesses (spawned lazily, reused across every sweep in the
+process, shut down atexit) and schedules each sweep over them:
+
+* **dispatch** — a job queue of point indices; idle workers pull the
+  first compatible job.  Seeds were derived per point index *before*
+  dispatch (:func:`repro.exp.runner.derive_seed`), so nothing about
+  which worker runs a point — or in what order results land — can
+  change the simulation.
+* **crash detection** — a worker whose pipe hits EOF (or whose process
+  exits) while a trial is in flight gets that point requeued, with the
+  dead worker's id excluded so a respawned sibling takes it.  Retries
+  are bounded (:data:`MAX_RETRIES`): a point that keeps killing
+  workers raises :class:`ShardError` instead of looping forever.
+* **per-trial timeout** — ``REPRO_SHARD_TIMEOUT`` seconds (float,
+  unset/0 disables); an overdue worker is killed and handled exactly
+  like a crash.
+* **result streaming** — completions invoke ``on_result`` as they
+  land, which is how :func:`~repro.exp.runner.map_trials` feeds the
+  content-addressed result cache trial by trial (a killed sweep
+  resumes from cache instead of restarting).
+* **trial errors** — a Python exception inside a trial is not a crash:
+  the worker ships it back and survives; the coordinator re-raises it
+  (original type when picklable) and never retries, matching the pool
+  and serial backends.
+
+Workers inherit this process's ``sys.path`` via ``PYTHONPATH`` so the
+fleet can execute any trial function the coordinator can import — the
+local-machine analogue of shipping the code tree to a remote fleet.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import subprocess
+import sys
+import threading
+import time
+import warnings
+from collections import deque
+from typing import Sequence
+
+from repro.dist.base import Backend, BackendUnavailable, IN_WORKER_ENV
+from repro.dist.protocol import (
+    dump_frame,
+    decode_value,
+    fn_ref,
+    parse_frame,
+    raise_remote,
+    task_frame,
+)
+
+#: Per-trial wall-clock budget in seconds (float; unset/0 disables).
+TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
+
+#: How many times one point may crash a worker before the sweep fails.
+MAX_RETRIES = 2
+
+_UNSET = object()
+
+
+class ShardError(RuntimeError):
+    """A point exhausted its crash-retry budget."""
+
+
+class _Shard:
+    """One worker subprocess plus its reader thread."""
+
+    _counter = 0
+
+    def __init__(self, outq: queue.Queue) -> None:
+        _Shard._counter += 1
+        index = _Shard._counter
+        env = dict(os.environ)
+        env[IN_WORKER_ENV] = "1"
+        # Ship the coordinator's import universe: PYTHONPATH covers the
+        # repro checkout and anything else (e.g. a test directory) the
+        # parent could import trial functions from.
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=None,
+            env=env, text=True, encoding="utf-8", bufsize=1)
+        self.id = f"shard{index}:pid{self.proc.pid}"
+        #: A task frame is in this worker's hands (spans run() calls:
+        #: a sweep aborted by a trial error can leave a worker busy
+        #: finishing a stale task; it frees up when its frame arrives).
+        self.busy = False
+        self._reader = threading.Thread(
+            target=self._read_loop, args=(outq,), daemon=True,
+            name=f"repro-{self.id}-reader")
+        self._reader.start()
+
+    def _read_loop(self, outq: queue.Queue) -> None:
+        try:
+            for line in self.proc.stdout:
+                frame = parse_frame(line)
+                if frame is not None:
+                    outq.put(("frame", self, frame))
+        except (OSError, ValueError):  # pragma: no cover - pipe teardown
+            pass
+        outq.put(("eof", self, None))
+
+    @property
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def send(self, frame: dict) -> bool:
+        try:
+            self.proc.stdin.write(dump_frame(frame))
+            self.proc.stdin.flush()
+            return True
+        except (OSError, ValueError):
+            return False
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    def shutdown(self) -> None:
+        if self.alive:
+            self.send({"op": "shutdown"})
+            try:
+                self.proc.stdin.close()
+            except OSError:  # pragma: no cover
+                pass
+            try:
+                self.proc.wait(timeout=2.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                self.kill()
+        self.proc.wait()
+
+
+class ShardsBackend(Backend):
+    name = "shards"
+
+    def __init__(self) -> None:
+        self._outq: queue.Queue = queue.Queue()
+        self._fleet: list[_Shard] = []
+        self._epoch = 0
+        #: Coordinator statistics of the most recent run() (tests and
+        #: curious operators; not part of the result contract).
+        self.last_stats: dict = {}
+
+    # -- fleet management ------------------------------------------------
+    def _spawn_one(self) -> _Shard:
+        shard = _Shard(self._outq)
+        self._fleet.append(shard)
+        return shard
+
+    def _ensure_fleet(self, n: int) -> None:
+        self._fleet = [s for s in self._fleet if s.alive]
+        while sum(1 for s in self._fleet if s.alive) < n:
+            self._spawn_one()
+
+    def close(self) -> None:
+        fleet, self._fleet = self._fleet, []
+        for shard in fleet:
+            shard.shutdown()
+
+    # -- the sweep coordinator -------------------------------------------
+    def run(self, fn, points: Sequence, seeds: Sequence, *,
+            workers: int | None = None, on_result=None) -> list:
+        n = len(points)
+        if n == 0:
+            return []
+        ref = fn_ref(fn)
+        if ref is None:
+            raise BackendUnavailable(
+                f"trial function {fn!r} is not addressable as "
+                "module:qualname (lambdas and nested functions cannot "
+                "be shipped to workers)")
+        fleet_size = min(max(1, workers or min(os.cpu_count() or 1, 8)), n)
+        try:
+            self._ensure_fleet(fleet_size)
+        except OSError as exc:
+            raise BackendUnavailable(exc) from exc
+
+        timeout = float(os.environ.get(TIMEOUT_ENV, "0") or 0) or None
+        from repro.sim import fastforward
+
+        ff = fastforward.forced_mode()
+        self._epoch += 1
+        epoch = self._epoch
+
+        results: list = [_UNSET] * n
+        pending: deque[int] = deque(range(n))
+        attempts = [0] * n
+        excluded: list[set[str]] = [set() for _ in range(n)]
+        inflight: dict[_Shard, tuple[int, float | None]] = {}
+        used: set[str] = set()
+        stats = {"crashes": 0, "retries": 0, "timeouts": 0,
+                 "workers_used": 0}
+        self.last_stats = stats
+        completed = 0
+
+        def requeue_from(shard: _Shard, why: str) -> None:
+            index, _ = inflight.pop(shard)
+            attempts[index] += 1
+            excluded[index].add(shard.id)
+            if attempts[index] > MAX_RETRIES:
+                raise ShardError(
+                    f"shards: point {index} {why} {attempts[index]} "
+                    f"time(s) (last worker {shard.id}); giving up after "
+                    f"{MAX_RETRIES} retries")
+            stats["retries"] += 1
+            warnings.warn(
+                f"shards: worker {shard.id} {why} on point {index}; "
+                f"requeueing on another worker "
+                f"(attempt {attempts[index] + 1}/{MAX_RETRIES + 1})",
+                RuntimeWarning, stacklevel=4)
+            pending.appendleft(index)
+
+        while completed < n:
+            # Hand every idle worker the first job it is allowed to
+            # run.  A fleet kept alive by a wider earlier sweep may
+            # hold more daemons than this sweep asked for; the cap
+            # keeps --workers an honest concurrency bound.
+            active = [s for s in self._fleet if s.alive][:fleet_size]
+            for shard in active:
+                if shard.busy or not pending:
+                    continue
+                pick = next((i for i in pending
+                             if shard.id not in excluded[i]), None)
+                if pick is None:
+                    continue
+                pending.remove(pick)
+                frame = task_frame(f"{epoch}:{pick}", ref, points[pick],
+                                   seeds[pick], ff)
+                if not shard.send(frame):
+                    # Write failure = the worker is gone; its EOF event
+                    # will prune it.  The job never left the queue side.
+                    pending.appendleft(pick)
+                    shard.kill()
+                    continue
+                shard.busy = True
+                used.add(shard.id)
+                stats["workers_used"] = len(used)
+                deadline = (time.monotonic() + timeout) if timeout else None
+                inflight[shard] = (pick, deadline)
+
+            # Liveness: jobs remain but nothing is running and no idle
+            # worker may take them (all excluded, or the fleet died).
+            # A fresh worker has a fresh id, so it can take anything.
+            if pending and not inflight:
+                stale_busy = any(s.busy and s.alive for s in self._fleet)
+                if not stale_busy:
+                    try:
+                        self._spawn_one()
+                    except OSError as exc:
+                        raise BackendUnavailable(exc) from exc
+                    continue
+
+            wait = None
+            if timeout and inflight:
+                armed = [d for _, d in inflight.values() if d is not None]
+                if armed:
+                    wait = max(0.01, min(armed) - time.monotonic())
+            try:
+                kind, shard, frame = self._outq.get(timeout=wait)
+            except queue.Empty:
+                # Per-trial budget exceeded: kill the straggler; the
+                # EOF event takes the shared crash/requeue path.
+                now = time.monotonic()
+                for straggler, (index, deadline) in list(inflight.items()):
+                    if deadline is not None and now >= deadline:
+                        stats["timeouts"] += 1
+                        warnings.warn(
+                            f"shards: worker {straggler.id} exceeded the "
+                            f"{timeout:g}s per-trial timeout on point "
+                            f"{index}; killing it", RuntimeWarning,
+                            stacklevel=2)
+                        straggler.kill()
+                        # Disarm the deadline: the kill fires exactly
+                        # once even if the EOF takes a few poll cycles
+                        # to arrive; the requeue happens on the EOF.
+                        inflight[straggler] = (index, None)
+                continue
+
+            if kind == "eof":
+                if shard in self._fleet:
+                    self._fleet.remove(shard)
+                if shard in inflight:
+                    stats["crashes"] += 1
+                    requeue_from(
+                        shard,
+                        f"died (exit {shard.proc.poll()!r}) running")
+                    try:
+                        self._ensure_fleet(fleet_size)
+                    except OSError as exc:
+                        if not any(s.alive for s in self._fleet):
+                            raise BackendUnavailable(exc) from exc
+                continue
+
+            op = frame.get("op")
+            if op in ("hello", "pong"):
+                continue
+            shard.busy = False
+            task_id = str(frame.get("id", ""))
+            prefix, _, index_text = task_id.partition(":")
+            if prefix != str(epoch) or not index_text.isdigit():
+                continue  # stale frame from an aborted previous sweep
+            index = int(index_text)
+            if shard in inflight and inflight[shard][0] == index:
+                del inflight[shard]
+            if results[index] is not _UNSET:
+                continue  # duplicate (e.g. raced with a timeout kill)
+            if not frame.get("ok"):
+                raise_remote(frame)
+            if frame.get("ff_totals"):
+                fastforward.absorb_totals(frame["ff_totals"])
+            value = decode_value(frame["result"])
+            results[index] = value
+            completed += 1
+            if on_result is not None:
+                on_result(index, value)
+
+        return results

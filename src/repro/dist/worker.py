@@ -1,0 +1,152 @@
+"""``python -m repro worker`` — a long-lived sweep-worker daemon.
+
+The shards backend spawns one of these per worker slot and feeds it
+task frames over stdin; results go back over stdout (protocol in
+:mod:`repro.dist.protocol`).  A worker imports the simulator once and
+then executes trials until told to shut down (or its pipe closes), so
+a thousand-trial sweep pays interpreter startup, imports, and warmup
+once per worker instead of once per task.
+
+Hygiene the daemon guarantees:
+
+* the protocol stream is a private dup of stdout taken at startup;
+  file descriptor 1 is then redirected to stderr, so a trial that
+  prints cannot corrupt the wire;
+* ``REPRO_IN_WORKER`` is set, so a trial that itself calls
+  ``map_trials`` resolves to the serial backend instead of recursively
+  spawning fleets;
+* trials run with the cyclic GC paused (the tuned-CLI condition) and a
+  collection after each trial picks up the per-trial cycles;
+* each task's ``ff`` field re-applies the coordinator's fast-forward
+  forced mode, so differential checks stay meaningful through remote
+  execution;
+* a trial exception is shipped back as an error frame (with the
+  original exception object when picklable) — the worker survives and
+  takes the next task.  Only a corrupt protocol line kills the worker.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import sys
+import traceback
+
+from repro.dist.base import IN_WORKER_ENV
+from repro.dist.protocol import (
+    PROTOCOL_VERSION,
+    decode_value,
+    dump_frame,
+    error_frame,
+    parse_frame,
+    resolve_fn,
+)
+
+
+def _warm() -> None:
+    """Best-effort preload of the heavy sweep modules, so the first
+    trial doesn't pay the import bill inside its measured wall time."""
+    for name in ("repro.system", "repro.scenario.spec",
+                 "repro.core.prac_channel", "repro.core.rfm_channel",
+                 "repro.exp.drivers.common"):
+        try:
+            __import__(name)
+        except Exception:  # pragma: no cover - warmup must never kill us
+            pass
+
+
+def _claim_protocol_stream():
+    """Dup the real stdout for frames, then point fd 1 at stderr so any
+    stray ``print`` inside a trial lands in the log, not the protocol."""
+    sys.stdout.flush()
+    proto = os.fdopen(os.dup(sys.stdout.fileno()), "w", buffering=1,
+                      encoding="utf-8", newline="\n")
+    os.dup2(sys.stderr.fileno(), sys.stdout.fileno())
+    return proto
+
+
+def _run_task(frame: dict) -> dict:
+    from repro.sim import fastforward
+
+    from repro.dist.protocol import encode_value
+
+    task_id = frame.get("id", "?")
+    before = fastforward.totals()
+    try:
+        fn = resolve_fn(frame["fn"])
+        point = decode_value(frame["point"])
+        seed = frame.get("seed")
+        with fastforward.forced(frame.get("ff")):
+            value = fn(point) if seed is None else fn(point, seed)
+        # Encoding inside the try: a result that is neither JSON-exact
+        # nor picklable is a *trial* failure frame, not a daemon death.
+        encoded = encode_value(value)
+    except Exception as exc:
+        return error_frame(task_id, exc, traceback.format_exc())
+    reply = {"id": task_id, "ok": True, "result": encoded}
+    after = fastforward.totals()
+    delta = {k: after[k] - before[k] for k in after if after[k] != before[k]}
+    if delta:
+        # Engagement evidence rides home with the result (see
+        # fastforward.absorb_totals).
+        reply["ff_totals"] = delta
+    return reply
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="sweep-worker daemon: reads NDJSON task frames on "
+                    "stdin, writes result frames on stdout (internal; "
+                    "spawned by the shards backend)")
+    parser.add_argument("--no-warm", action="store_true",
+                        help="skip preloading the simulator modules")
+    args = parser.parse_args(argv)
+
+    os.environ[IN_WORKER_ENV] = "1"
+    proto = _claim_protocol_stream()
+    if not args.no_warm:
+        _warm()
+    proto.write(dump_frame({"op": "hello", "pid": os.getpid(),
+                            "version": PROTOCOL_VERSION}))
+
+    gc.disable()
+    try:
+        for line in sys.stdin:
+            frame = parse_frame(line)
+            if frame is None:
+                if line.strip():
+                    print(f"worker: unparseable frame {line!r}",
+                          file=sys.stderr)
+                    return 70  # EX_SOFTWARE: protocol corruption
+                continue
+            op = frame.get("op", "run")
+            if op == "shutdown":
+                break
+            if op == "ping":
+                proto.write(dump_frame({"op": "pong",
+                                        "id": frame.get("id")}))
+                continue
+            if op != "run":
+                print(f"worker: unknown op {op!r}", file=sys.stderr)
+                continue
+            reply = _run_task(frame)
+            gc.collect()
+            try:
+                proto.write(dump_frame(reply))
+            except (TypeError, ValueError):
+                # encode_value produced something json.dumps rejects
+                # (should be impossible; pickled fallback is a string).
+                exc = RuntimeError(f"unencodable result for {frame['id']}")
+                proto.write(dump_frame(error_frame(
+                    frame.get("id", "?"), exc, "")))
+    except (BrokenPipeError, KeyboardInterrupt):  # pragma: no cover
+        return 0
+    finally:
+        gc.enable()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

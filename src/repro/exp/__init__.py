@@ -35,6 +35,7 @@ from repro.exp.runner import (
     run_experiment,
     run_scenario,
     scenario_key,
+    trial_key,
     trials_executed,
 )
 
@@ -58,5 +59,6 @@ __all__ = [
     "run_scenario",
     "scenario_key",
     "stable_key",
+    "trial_key",
     "trials_executed",
 ]

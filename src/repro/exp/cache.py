@@ -20,6 +20,7 @@ import hashlib
 import json
 import os
 import pickle
+import time
 from pathlib import Path
 
 #: Default cache directory (relative to the working directory).
@@ -144,6 +145,63 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.directory.glob("*/*.pkl"))
 
+    def entries(self):
+        """Yield ``(path, stat_result)`` for every live entry (entries
+        racing with a concurrent prune are skipped, not errors)."""
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*/*.pkl")):
+            try:
+                yield path, path.stat()
+            except OSError:
+                continue
+
+    def stats(self, *, now: float | None = None) -> dict:
+        """Aggregate cache statistics (counts, bytes, entry ages)."""
+        if now is None:
+            now = time.time()
+        count = 0
+        total_bytes = 0
+        oldest: float | None = None
+        newest: float | None = None
+        for _, stat in self.entries():
+            count += 1
+            total_bytes += stat.st_size
+            oldest = stat.st_mtime if oldest is None else min(
+                oldest, stat.st_mtime)
+            newest = stat.st_mtime if newest is None else max(
+                newest, stat.st_mtime)
+        return {
+            "directory": str(self.directory),
+            "entries": count,
+            "total_bytes": total_bytes,
+            "oldest_age_s": None if oldest is None else max(0.0,
+                                                            now - oldest),
+            "newest_age_s": None if newest is None else max(0.0,
+                                                            now - newest),
+        }
+
+    def prune(self, older_than_s: float, *,
+              now: float | None = None) -> tuple[int, int]:
+        """Delete entries last written more than ``older_than_s`` seconds
+        ago; returns ``(entries_removed, bytes_freed)``.  Empty shard
+        subdirectories are removed afterwards."""
+        if now is None:
+            now = time.time()
+        removed = 0
+        freed = 0
+        for path, stat in list(self.entries()):
+            if now - stat.st_mtime <= older_than_s:
+                continue
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            removed += 1
+            freed += stat.st_size
+        self._remove_empty_shards()
+        return removed, freed
+
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
         removed = 0
@@ -151,4 +209,15 @@ class ResultCache:
             for path in self.directory.glob("*/*.pkl"):
                 path.unlink()
                 removed += 1
+        self._remove_empty_shards()
         return removed
+
+    def _remove_empty_shards(self) -> None:
+        if not self.directory.is_dir():
+            return
+        for sub in self.directory.iterdir():
+            if sub.is_dir():
+                try:
+                    sub.rmdir()  # only succeeds when empty
+                except OSError:
+                    pass

@@ -1,14 +1,17 @@
-"""Trial/sweep executor: process-pool fan-out plus cached runs.
+"""Trial/sweep executor: pluggable backends plus cached runs.
 
 Two layers:
 
 ``map_trials``
-    Runs one picklable trial function over a list of parameter points,
-    optionally fanning out over a ``ProcessPoolExecutor``.  Results come
-    back in point order, so a parallel sweep is bit-identical to the
-    serial one — every trial builds its own simulator from its own
-    (deterministic) seed, and nothing about worker placement can leak
-    into the physics.
+    Runs one trial function over a list of parameter points through an
+    execution backend (:mod:`repro.dist`): in-process ``serial``, the
+    process-pool ``pool``, or the ``shards`` worker fleet.  Results
+    come back in point order, so every backend is bit-identical to the
+    serial path — each trial builds its own simulator from its own
+    deterministic seed (derived from the point *index*, never from
+    worker placement), and results stream into the per-trial result
+    cache as they land, so an interrupted sweep resumes instead of
+    restarting.
 
 ``run_experiment``
     Resolves a registered experiment, consults the on-disk result cache
@@ -25,9 +28,14 @@ import inspect
 import time
 import warnings
 from dataclasses import dataclass, field
-from itertools import repeat
 from typing import Callable, Iterable, Sequence
 
+from repro.dist import (
+    BackendUnavailable,
+    current_execution,
+    get_backend,
+    resolve_backend_name,
+)
 from repro.exp.cache import ResultCache, code_fingerprint, stable_key
 from repro.exp.registry import ExperimentSpec, get_experiment
 
@@ -53,65 +61,147 @@ def derive_seed(base_seed: int, index: int) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
-def _run_point(fn: Callable, point, seed):
-    """Top-level trampoline so trial calls pickle cleanly."""
-    if seed is None:
-        return fn(point)
-    return fn(point, seed)
-
-
-def _warn_serial_fallback(exc: BaseException, n_points: int) -> None:
+def _warn_serial_fallback(backend: str, exc: object,
+                          n_points: int) -> None:
+    """Shared fallback warning: names the backend and the exact failure
+    so 'my sweep silently ran serially' is diagnosable from the log."""
     warnings.warn(
-        f"process pool unavailable ({exc}); running {n_points} trials "
-        "serially", RuntimeWarning, stacklevel=3)
+        f"backend {backend!r} unavailable ({exc!r}); running {n_points} "
+        "trial(s) serially", RuntimeWarning, stacklevel=3)
+
+
+def _ambient_fast_forward() -> str:
+    """The process-ambient fast-forward switch ("on"/"off"): the forced
+    override when active, else the environment/default resolution.
+    Part of every trial key — a cache entry computed fast-forwarded
+    must never satisfy an event-accurate run (or vice versa), exactly
+    the mix-up a diffcheck investigation would be hunting."""
+    from repro.sim import fastforward
+
+    mode = fastforward.forced_mode()
+    if mode is not None:
+        return mode
+    return "on" if fastforward.resolve_enabled(None) else "off"
+
+
+def trial_key(fn: Callable, point, seed) -> str | None:
+    """Content-address of one trial: the function's cross-process
+    reference, the point, the derived seed, the ambient fast-forward
+    mode, and the source fingerprint.
+
+    ``None`` when ``fn`` is not addressable across processes (then the
+    per-trial cache cannot guarantee identity and stays out of the way).
+    """
+    from repro.dist.protocol import fn_ref
+
+    ref = fn_ref(fn)
+    if ref is None:
+        return None
+    return stable_key({"trial": {"fn": ref, "point": point, "seed": seed,
+                                 "ff": _ambient_fast_forward()},
+                       "code": code_fingerprint()})
+
+
+_UNSET = object()
 
 
 def map_trials(fn: Callable, points: Iterable, *,
                workers: int | None = None,
-               seed: int | None = None) -> list:
+               seed: int | None = None,
+               backend: str | None = None,
+               trial_cache: ResultCache | None = None,
+               progress: Callable[[int, int, int], None] | None = None
+               ) -> list:
     """Run ``fn`` over every point; returns results in point order.
 
     ``fn`` must be a module-level callable taking one point (plus a
     derived per-trial seed as a second argument when ``seed`` is set).
-    With ``workers`` > 1 the points fan out over a process pool; the
-    result is identical to the serial path because each trial is an
-    isolated, deterministic simulation.  Environments that cannot fork
-    fall back to serial execution with a warning.
+    Execution goes through a :mod:`repro.dist` backend — ``backend``
+    (or the ambient :func:`repro.dist.execution` context, or the
+    ``REPRO_BACKEND`` environment variable) selects it; the default
+    ``auto`` fans out over the process pool when ``workers`` > 1 and
+    runs in-process otherwise.  Every backend is bit-identical to
+    serial because each trial is an isolated, deterministic simulation
+    seeded by point index.  A backend that cannot run here falls back
+    to serial execution with a warning naming it.
+
+    With a ``trial_cache`` (explicit or from the execution context),
+    already-computed points are served from the cache and fresh results
+    stream into it as they land, so a partial sweep resumes instead of
+    restarting.  ``progress(done, total, cache_hits)`` is invoked per
+    landed trial.
     """
     global _trials_executed
     points = list(points)
+    n = len(points)
     seeds: Sequence = (
-        [None] * len(points) if seed is None
-        else [derive_seed(seed, i) for i in range(len(points))])
+        [None] * n if seed is None
+        else [derive_seed(seed, i) for i in range(n)])
 
-    if workers is not None and workers > 1 and len(points) > 1:
-        # Deferred import: the pool machinery is only paid for when a
-        # parallel sweep is actually requested (keeps CLI startup lean).
-        from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+    ctx = current_execution()
+    if backend is None:
+        backend = ctx.backend
+    if trial_cache is None:
+        trial_cache = ctx.trial_cache
+    if progress is None:
+        progress = ctx.progress
 
-        # Fall back to serial only on pool-machinery failure: OSError
-        # from pool construction, or BrokenExecutor when workers could
-        # not spawn / died.  An exception raised by a trial itself
-        # propagates unchanged out of pool.map and is never retried.
-        try:
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(points)))
-        except OSError as exc:
-            _warn_serial_fallback(exc, len(points))
-        else:
-            try:
-                with pool:
-                    results = list(pool.map(_run_point, repeat(fn),
-                                            points, seeds))
-            except BrokenExecutor as exc:
-                _warn_serial_fallback(exc, len(points))
-            else:
-                _trials_executed += len(points)
-                return results
+    results: list = [_UNSET] * n
+    keys: list[str | None] = [None] * n
+    hits = 0
+    if trial_cache is not None and n:
+        for i in range(n):
+            keys[i] = trial_key(fn, points[i], seeds[i])
+            if keys[i] is None:
+                break  # unaddressable fn: no trial caching at all
+            hit, value = trial_cache.get(keys[i])
+            if hit:
+                results[i] = value
+                hits += 1
 
-    results = []
-    for point, trial_seed in zip(points, seeds):
-        results.append(_run_point(fn, point, trial_seed))
+    todo = [i for i in range(n) if results[i] is _UNSET]
+    if progress is not None and n:
+        progress(n - len(todo), n, hits)
+    if not todo:
+        return results
+
+    done = n - len(todo)
+
+    def land(i: int, value) -> None:
+        """Stream one landed trial (``i`` is the global point index)."""
+        global _trials_executed
+        nonlocal done
+        if results[i] is not _UNSET:
+            return
+        results[i] = value
         _trials_executed += 1
+        done += 1
+        if trial_cache is not None and keys[i] is not None:
+            trial_cache.put(keys[i], value)
+        if progress is not None:
+            progress(done, n, hits)
+
+    def dispatch(backend_name: str, indices: list[int]) -> None:
+        out = get_backend(backend_name).run(
+            fn, [points[i] for i in indices], [seeds[i] for i in indices],
+            workers=workers,
+            on_result=lambda j, value: land(indices[j], value))
+        # land() is idempotent; re-landing from the returned list covers
+        # any backend that does not stream.
+        for j, i in enumerate(indices):
+            land(i, out[j])
+
+    name = resolve_backend_name(backend, workers=workers,
+                                n_points=len(todo))
+    try:
+        dispatch(name, todo)
+    except BackendUnavailable as exc:
+        # Results that already landed (and streamed into the cache)
+        # before the backend broke are kept; only the rest rerun.
+        remaining = [i for i in todo if results[i] is _UNSET]
+        _warn_serial_fallback(name, getattr(exc, "reason", exc),
+                              len(remaining))
+        dispatch("serial", remaining)
     return results
 
 
@@ -126,18 +216,20 @@ def _scenario_trial(point: dict) -> dict:
     return ScenarioSpec.from_dict(point).run().to_dict()
 
 
-def map_scenarios(specs, *, workers: int | None = None) -> list[dict]:
-    """Run scenario specs over the trial pool; results in spec order.
+def map_scenarios(specs, *, workers: int | None = None,
+                  backend: str | None = None) -> list[dict]:
+    """Run scenario specs over the trial backend; results in spec order.
 
     Accepts :class:`~repro.scenario.spec.ScenarioSpec` instances or
     their dict form; each worker receives pure data and returns the
-    JSON-safe ``ScenarioResult.to_dict()`` core.  Parallel fan-out is
-    bit-identical to serial because a spec fully determines its
-    simulation.
+    JSON-safe ``ScenarioResult.to_dict()`` core.  Any backend's
+    fan-out is bit-identical to serial because a spec fully determines
+    its simulation.
     """
     points = [spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
               for spec in specs]
-    return map_trials(_scenario_trial, points, workers=workers)
+    return map_trials(_scenario_trial, points, workers=workers,
+                      backend=backend)
 
 
 def scenario_key(spec) -> str:
@@ -149,19 +241,19 @@ def scenario_key(spec) -> str:
 
 def run_scenario(spec, *, use_cache: bool = True,
                  cache: ResultCache | None = None,
-                 cache_dir: str | None = None) -> "ExperimentRun":
+                 cache_dir: str | None = None,
+                 backend: str | None = None) -> "ExperimentRun":
     """Execute one scenario spec through the result cache.
 
     The returned :class:`ExperimentRun` carries the serializable result
     core (``ScenarioResult.to_dict()``) as its value, so cache hits and
-    fresh runs are interchangeable.
+    fresh runs are interchangeable.  Execution goes through
+    :func:`map_scenarios`, so an explicit ``backend`` (or the ambient
+    execution context) ships the spec to a worker fleet.
     """
 
     def compute():
-        global _trials_executed
-        value = spec.run().to_dict()
-        _trials_executed += 1
-        return value
+        return map_scenarios([spec], backend=backend)[0]
 
     return _through_cache(spec.name, scenario_key(spec),
                           {"scenario": spec.name}, compute,

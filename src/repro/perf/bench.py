@@ -50,6 +50,9 @@ class BenchConfig:
     engine_events: int = 300_000
     controller_requests: int = 25_000
     scenario_builds: int = 300
+    #: No-op trials pushed through the shards backend for the
+    #: dispatch-overhead metric.
+    dispatch_points: int = 64
     repeats: int = 3
     #: Include the full ``python -m repro report --no-cache`` subprocess
     #: wall measurement (skipped by ``--quick``).
@@ -58,7 +61,8 @@ class BenchConfig:
     @classmethod
     def quick(cls) -> "BenchConfig":
         return cls(engine_events=60_000, controller_requests=6_000,
-                   scenario_builds=50, repeats=1, full_report=False)
+                   scenario_builds=50, dispatch_points=16, repeats=1,
+                   full_report=False)
 
 
 # ----------------------------------------------------------------------
@@ -184,6 +188,32 @@ def _bench_scenario_trial() -> float:
     return elapsed
 
 
+def _dispatch_trial(point):
+    """No-op trial: every microsecond it takes round-trip is backend
+    dispatch overhead, not work."""
+    return point
+
+
+def _bench_backend_dispatch(n_points: int) -> float:
+    """Wall seconds to push ``n_points`` no-op trials through the
+    ``shards`` backend with 2 workers — serialization, scheduling, and
+    pipe round-trips, with zero simulation inside.  The first repeat
+    pays the fleet spawn; best-of-N reports the steady (fleet reused)
+    dispatch cost a real sweep sees per batch.
+    """
+    from repro.dist import get_backend
+
+    backend = get_backend("shards")
+    points = list(range(n_points))
+    start = time.perf_counter()
+    out = backend.run(_dispatch_trial, points, [None] * n_points,
+                      workers=2)
+    elapsed = time.perf_counter() - start
+    if out != points:  # pragma: no cover - defensive
+        raise RuntimeError("backend dispatch bench returned wrong results")
+    return elapsed
+
+
 def _bench_report_slice() -> float:
     """One quick-report slice (the fig3 PRAC message experiment), run
     in-process with the cache disabled."""
@@ -276,6 +306,12 @@ def _collect_metrics_inner(config, metrics, log):
     log("scenario: pinned probe trial ...")
     times = _best(_bench_scenario_trial, config.repeats)
     metrics["scenario_trial_seconds"] = round(min(times), 4)
+
+    log("dist: shards backend dispatch overhead ...")
+    times = _best(
+        lambda: _bench_backend_dispatch(config.dispatch_points),
+        config.repeats)
+    metrics["backend_dispatch_overhead_seconds"] = round(min(times), 4)
 
     log("report slice: fig3 (no cache) ...")
     times = _best(_bench_report_slice, config.repeats)

@@ -335,17 +335,31 @@ def run_diffcheck(*, experiments: list[str] | None = None,
                   fuzz: int = 0, fuzz_seed: int = 0x5EED,
                   spec_files: list[str] | None = None,
                   artifact_dir: str | None = None,
+                  backend: str | None = None,
                   log=lambda msg: None) -> DiffReport:
     """The full sweep: named experiments + fuzzed scenario specs +
-    explicit spec files."""
+    explicit spec files.
+
+    ``backend`` selects the sweep-execution backend the *experiment*
+    runs fan out over (see :mod:`repro.dist`) — the equivalence check
+    must hold under every backend, and the worker protocol ships the
+    fast-forward forced mode with each task so remote trials stay
+    pinned exactly like local ones.  Scenario cases always run
+    in-process (their deep ground-truth capture reads live simulator
+    state).
+    """
+    from repro.dist import check_backend_name, execution
     from repro.scenario.fuzz import random_spec
     from repro.scenario.spec import ScenarioSpec
 
+    if backend is not None:
+        check_backend_name(backend)
     report = DiffReport()
-    for name in experiments or ():
-        log(f"experiment {name} ...")
-        report.outcomes.append(diff_experiment(name))
-    for i in range(fuzz):
+    with execution(backend=backend):
+        for name in experiments or ():
+            log(f"experiment {name} ...")
+            report.outcomes.append(diff_experiment(name))
+    for i in range(fuzz):  # in-process: deep capture reads live state
         spec = random_spec(fuzz_seed + i)
         log(f"scenario {spec.name} ...")
         report.outcomes.append(

@@ -128,9 +128,25 @@ def forced(mode: str | None):
         _forced = prev
 
 
+def forced_mode() -> str | None:
+    """The active :func:`forced` override (``"on"``/``"off"``/None).
+
+    Remote sweep backends ship this with every task so worker
+    processes pin fast-forward exactly as the coordinator would."""
+    return _forced
+
+
 def totals() -> dict:
     """Process-wide jump totals since import (engagement evidence)."""
     return dict(_totals)
+
+
+def absorb_totals(delta: dict) -> None:
+    """Fold a worker process's per-trial jump totals into this
+    process's, so engagement evidence (e.g. the diffcheck report's
+    jump column) stays truthful when trials execute remotely."""
+    for key in _totals:
+        _totals[key] += int(delta.get(key, 0))
 
 
 class _Track:

@@ -1,0 +1,106 @@
+"""Tests for result-cache introspection: ResultCache.stats/prune and
+the ``python -m repro cache`` subcommands."""
+
+import os
+import time
+
+import pytest
+
+from repro.__main__ import _parse_age, main
+from repro.exp.cache import ResultCache
+
+KEY_A = "aa" + "0" * 62
+KEY_B = "bb" + "0" * 62
+KEY_C = "bb" + "1" * 62
+
+
+def _age_entry(cache: ResultCache, key: str, age_s: float) -> None:
+    """Backdate one entry's mtime (prune keys off mtime)."""
+    path = cache._path(key)
+    stamp = time.time() - age_s
+    os.utime(path, (stamp, stamp))
+
+
+@pytest.fixture()
+def cache(tmp_path) -> ResultCache:
+    cache = ResultCache(tmp_path / "cc")
+    cache.put(KEY_A, {"v": 1})
+    cache.put(KEY_B, list(range(100)))
+    cache.put(KEY_C, "tiny")
+    return cache
+
+
+class TestStats:
+    def test_counts_bytes_and_ages(self, cache):
+        _age_entry(cache, KEY_A, 3600)
+        stats = cache.stats()
+        assert stats["entries"] == 3
+        assert stats["total_bytes"] > 0
+        assert stats["oldest_age_s"] == pytest.approx(3600, abs=60)
+        assert stats["newest_age_s"] < 60
+
+    def test_empty_cache(self, tmp_path):
+        stats = ResultCache(tmp_path / "none").stats()
+        assert stats["entries"] == 0
+        assert stats["oldest_age_s"] is None
+
+
+class TestPrune:
+    def test_prune_removes_only_old_entries(self, cache):
+        _age_entry(cache, KEY_A, 8 * 86400)
+        _age_entry(cache, KEY_B, 2 * 86400)
+        removed, freed = cache.prune(7 * 86400)
+        assert removed == 1 and freed > 0
+        assert KEY_A not in cache
+        assert KEY_B in cache and KEY_C in cache
+
+    def test_prune_sweeps_empty_shard_dirs(self, cache):
+        _age_entry(cache, KEY_A, 100)
+        cache.prune(1)
+        assert not (cache.directory / KEY_A[:2]).exists()
+        assert (cache.directory / KEY_B[:2]).exists()
+
+
+class TestParseAge:
+    @pytest.mark.parametrize("text,expected", [
+        ("45s", 45.0), ("30m", 1800.0), ("12h", 43200.0),
+        ("7d", 604800.0), ("3600", 3600.0), ("1.5h", 5400.0),
+    ])
+    def test_suffixes(self, text, expected):
+        assert _parse_age(text) == expected
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ValueError, match="bad age"):
+            _parse_age("fortnight")
+        with pytest.raises(ValueError, match=">= 0"):
+            _parse_age("-1d")
+
+
+class TestCacheCommands:
+    def test_stats_renders_a_table(self, cache, capsys):
+        rc = main(["cache", "stats", "--cache-dir",
+                   str(cache.directory)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "3" in out
+
+    def test_prune_reports_what_it_freed(self, cache, capsys):
+        _age_entry(cache, KEY_A, 8 * 86400)
+        rc = main(["cache", "prune", "--older-than", "7d",
+                   "--cache-dir", str(cache.directory)])
+        assert rc == 0
+        assert "pruned 1 entry" in capsys.readouterr().out
+        assert len(cache) == 2
+
+    def test_prune_bad_age_fails_cleanly(self, cache, capsys):
+        rc = main(["cache", "prune", "--older-than", "soon",
+                   "--cache-dir", str(cache.directory)])
+        assert rc == 2
+        assert "bad age" in capsys.readouterr().err
+
+    def test_clear_empties_the_cache(self, cache, capsys):
+        rc = main(["cache", "clear", "--cache-dir",
+                   str(cache.directory)])
+        assert rc == 0
+        assert "cleared 3 entries" in capsys.readouterr().out
+        assert len(cache) == 0

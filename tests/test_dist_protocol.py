@@ -1,0 +1,130 @@
+"""Tests for the dist wire protocol: value encoding, fn addressing,
+frames, and remote-error reconstruction."""
+
+import math
+
+import pytest
+
+import dist_trials
+from repro.dist.protocol import (
+    ProtocolError,
+    RemoteTrialError,
+    decode_value,
+    dump_frame,
+    encode_value,
+    error_frame,
+    fn_ref,
+    parse_frame,
+    raise_remote,
+    resolve_fn,
+    task_frame,
+)
+
+
+class TestValueEncoding:
+    def test_json_native_payloads_stay_readable(self):
+        value = {"rate": 1.5, "bits": [1, 0, 1], "name": "x", "none": None}
+        encoded = encode_value(value)
+        assert "j" in encoded  # human-readable on the wire
+        assert decode_value(encoded) == value
+
+    def test_floats_survive_exactly(self):
+        value = {"e": 0.1 + 0.2, "tiny": 5e-324}
+        assert decode_value(encode_value(value)) == value
+
+    @pytest.mark.parametrize("value", [
+        (1, 2, 3),                  # tuple != list after JSON
+        {1: "int key"},             # keys coerced to str by JSON
+        {"nested": ("a", "b")},
+        b"bytes",
+    ])
+    def test_non_roundtrippable_values_take_the_pickle_leg(self, value):
+        encoded = encode_value(value)
+        assert "p" in encoded
+        decoded = decode_value(encoded)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_nan_takes_the_pickle_leg(self):
+        decoded = decode_value(encode_value(float("nan")))
+        assert math.isnan(decoded)
+
+    def test_undecodable_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_value({"bogus": 1})
+
+
+class TestFnRef:
+    def test_module_level_function_round_trips(self):
+        ref = fn_ref(dist_trials.square)
+        assert ref == "dist_trials:square"
+        assert resolve_fn(ref) is dist_trials.square
+
+    def test_repro_trial_functions_are_addressable(self):
+        from repro.exp.drivers.common import _pattern_trial
+
+        assert fn_ref(_pattern_trial) == (
+            "repro.exp.drivers.common:_pattern_trial")
+
+    def test_lambda_and_nested_are_not_addressable(self):
+        assert fn_ref(lambda p: p) is None
+
+        def nested(p):
+            return p
+
+        assert fn_ref(nested) is None
+
+    def test_main_module_functions_are_not_addressable(self):
+        def fake():
+            pass
+
+        fake.__module__ = "__main__"
+        fake.__qualname__ = "fake"
+        assert fn_ref(fake) is None
+
+    def test_resolve_unknown_attribute_fails_loudly(self):
+        with pytest.raises(ProtocolError, match="no attribute"):
+            resolve_fn("dist_trials:not_there")
+        with pytest.raises(ProtocolError, match="bad trial-function"):
+            resolve_fn("no-colon")
+
+
+class TestFrames:
+    def test_task_frame_round_trips_one_line(self):
+        frame = task_frame("3:17", "dist_trials:square", {"v": 2}, 99,
+                           "off")
+        line = dump_frame(frame)
+        assert line.endswith("\n") and line.count("\n") == 1
+        parsed = parse_frame(line)
+        assert parsed == frame
+        assert decode_value(parsed["point"]) == {"v": 2}
+
+    def test_noise_lines_are_ignored_not_fatal(self):
+        assert parse_frame("") is None
+        assert parse_frame("stray print output\n") is None
+        assert parse_frame("{not json}\n") is None
+        assert parse_frame("[1, 2]\n") is None  # non-dict JSON
+
+
+class TestRemoteErrors:
+    def _frame_for(self, exc):
+        try:
+            raise exc
+        except Exception as caught:
+            import traceback
+
+            return error_frame("1:0", caught, traceback.format_exc())
+
+    def test_original_exception_type_is_reraised(self):
+        frame = self._frame_for(ValueError("boom 7"))
+        with pytest.raises(ValueError, match="boom 7") as info:
+            raise_remote(frame)
+        # The remote traceback rides along as the cause.
+        assert isinstance(info.value.__cause__, RemoteTrialError)
+        assert "boom 7" in str(info.value.__cause__)
+
+    def test_unshippable_exception_degrades_to_remote_trial_error(self):
+        frame = self._frame_for(ValueError("boom"))
+        del frame["error"]
+        with pytest.raises(RemoteTrialError, match="boom"):
+            raise_remote(frame)

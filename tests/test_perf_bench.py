@@ -16,7 +16,8 @@ from repro.perf.bench import (
 @pytest.fixture(scope="module")
 def tiny_config() -> BenchConfig:
     return BenchConfig(engine_events=2_000, controller_requests=500,
-                       scenario_builds=10, repeats=1, full_report=False)
+                       scenario_builds=10, dispatch_points=4, repeats=1,
+                       full_report=False)
 
 
 @pytest.fixture(scope="module")
@@ -34,6 +35,7 @@ class TestMetrics:
             "covert_trial_canary_ok",
             "scenario_build_per_sec",
             "scenario_trial_seconds",
+            "backend_dispatch_overhead_seconds",
             "report_slice_seconds",
         }
 
@@ -43,6 +45,7 @@ class TestMetrics:
         assert metrics["controller_conflict_requests_per_sec"] > 0
         assert metrics["scenario_build_per_sec"] > 0
         assert metrics["scenario_trial_seconds"] > 0
+        assert metrics["backend_dispatch_overhead_seconds"] > 0
 
     def test_canary_passes_on_faithful_simulator(self, metrics):
         assert metrics["covert_trial_canary_ok"] is True
