@@ -375,16 +375,20 @@ def cmd_diffcheck(args) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         fuzz = args.fuzz if args.fuzz is not None else 0
+        fuzz_multi = args.fuzz_multi if args.fuzz_multi is not None else 0
     elif args.quick:
         experiments = list(QUICK_EXPERIMENTS)
         fuzz = args.fuzz if args.fuzz is not None else 20
+        fuzz_multi = args.fuzz_multi if args.fuzz_multi is not None else 6
     else:
         # Default (and --all): the full registry sweep.
         experiments = experiment_names()
         fuzz = args.fuzz if args.fuzz is not None else 10
+        fuzz_multi = args.fuzz_multi if args.fuzz_multi is not None else 10
     if args.spec:
         # Explicit spec files replace the fuzz corpus unless asked for.
         fuzz = args.fuzz if args.fuzz is not None else 0
+        fuzz_multi = args.fuzz_multi if args.fuzz_multi is not None else 0
         if not args.experiment and not args.all and not args.quick:
             experiments = []
     from repro.dist import BackendError
@@ -393,7 +397,9 @@ def cmd_diffcheck(args) -> int:
         with _gc_paused():
             report = run_diffcheck(
                 experiments=experiments, fuzz=fuzz,
-                fuzz_seed=args.fuzz_seed, spec_files=args.spec,
+                fuzz_seed=args.fuzz_seed, fuzz_multi=fuzz_multi,
+                fuzz_multi_seed=args.fuzz_multi_seed,
+                spec_files=args.spec,
                 artifact_dir=args.artifact_dir, backend=args.backend,
                 log=lambda msg: print(f"[diffcheck] {msg}",
                                       file=sys.stderr))
@@ -654,7 +660,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "fuzzed scenarios (the default)")
     p_diff.add_argument("--quick", action="store_true",
                         help="CI smoke subset: 3 experiments + 20 "
-                             "fuzzed scenario specs")
+                             "fuzzed + 6 multi-agent scenario specs")
     p_diff.add_argument("--fuzz", type=int, default=None, metavar="N",
                         help="number of seeded random scenario specs "
                              "(default: 10 for the full sweep, 20 for "
@@ -662,6 +668,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_diff.add_argument("--fuzz-seed", type=int, default=0x5EED,
                         metavar="SEED", help="base seed of the fuzzed "
                                              "spec corpus")
+    p_diff.add_argument("--fuzz-multi", type=int, default=None,
+                        metavar="N",
+                        help="number of seeded multi-agent periodic "
+                             "specs driving the joint fast-forward "
+                             "path (default: 10 for the full sweep, "
+                             "6 for --quick, 0 with explicit names)")
+    p_diff.add_argument("--fuzz-multi-seed", type=int, default=0xA117,
+                        metavar="SEED",
+                        help="base seed of the multi-agent fuzz corpus")
     p_diff.add_argument("--spec", action="append", metavar="SPEC.json",
                         default=None,
                         help="also check a scenario spec file (e.g. a "

@@ -9,6 +9,14 @@ process, shut down atexit) and schedules each sweep over them:
   dispatch (:func:`repro.exp.runner.derive_seed`), so nothing about
   which worker runs a point — or in what order results land — can
   change the simulation.
+* **pipelining** — each worker holds up to :data:`PREFETCH` task
+  frames (one running, the rest queued in its stdin pipe, written as
+  one batched frame block).  The worker starts its next trial straight
+  off the pipe instead of idling through the coordinator's result
+  turnaround, which is most of the warm per-trial dispatch cost.
+  Crash/timeout blame lands on the *running* (head) task only: queued
+  mates are requeued silently at the front of the job queue, with no
+  retry charged.
 * **crash detection** — a worker whose pipe hits EOF (or whose process
   exits) while a trial is in flight gets that point requeued, with the
   dead worker's id excluded so a respawned sibling takes it.  Retries
@@ -59,6 +67,12 @@ TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
 #: How many times one point may crash a worker before the sweep fails.
 MAX_RETRIES = 2
 
+#: Task frames a worker may hold at once (one running plus frames
+#: queued in its pipe).  Depth 2 fully hides the coordinator's
+#: turnaround latency behind trial execution; deeper queues only delay
+#: crash requeues and skew the tail of the sweep.
+PREFETCH = 2
+
 _UNSET = object()
 
 
@@ -85,10 +99,10 @@ class _Shard:
             stdin=subprocess.PIPE, stdout=subprocess.PIPE, stderr=None,
             env=env, text=True, encoding="utf-8", bufsize=1)
         self.id = f"shard{index}:pid{self.proc.pid}"
-        #: A task frame is in this worker's hands (spans run() calls:
-        #: a sweep aborted by a trial error can leave a worker busy
-        #: finishing a stale task; it frees up when its frame arrives).
-        self.busy = False
+        #: Task frames in this worker's hands (spans run() calls: a
+        #: sweep aborted by a trial error can leave a worker finishing
+        #: stale tasks; the count drains as their frames arrive).
+        self.depth = 0
         self._reader = threading.Thread(
             target=self._read_loop, args=(outq,), daemon=True,
             name=f"repro-{self.id}-reader")
@@ -111,6 +125,15 @@ class _Shard:
     def send(self, frame: dict) -> bool:
         try:
             self.proc.stdin.write(dump_frame(frame))
+            self.proc.stdin.flush()
+            return True
+        except (OSError, ValueError):
+            return False
+
+    def send_many(self, frames: list[dict]) -> bool:
+        """Write a batch of frames as one block with a single flush."""
+        try:
+            self.proc.stdin.write("".join(map(dump_frame, frames)))
             self.proc.stdin.flush()
             return True
         except (OSError, ValueError):
@@ -192,63 +215,95 @@ class ShardsBackend(Backend):
         pending: deque[int] = deque(range(n))
         attempts = [0] * n
         excluded: list[set[str]] = [set() for _ in range(n)]
-        inflight: dict[_Shard, tuple[int, float | None]] = {}
+        #: This sweep's task indices in each worker's hands, dispatch
+        #: order (the worker runs them in order, so [0] is the running
+        #: head).  Workers with no entries are absent.
+        inflight: dict[_Shard, deque[int]] = {}
+        #: Armed head-of-line deadline per worker: the running head
+        #: task's wall-clock budget.  Queued mates are not on the
+        #: clock until they reach the head.
+        deadlines: dict[_Shard, float] = {}
         used: set[str] = set()
         stats = {"crashes": 0, "retries": 0, "timeouts": 0,
-                 "workers_used": 0}
+                 "workers_used": 0,
+                 "ff_totals": {k: 0 for k in fastforward.totals()}}
         self.last_stats = stats
         completed = 0
 
         def requeue_from(shard: _Shard, why: str) -> None:
-            index, _ = inflight.pop(shard)
-            attempts[index] += 1
-            excluded[index].add(shard.id)
-            if attempts[index] > MAX_RETRIES:
+            entries = inflight.pop(shard)
+            deadlines.pop(shard, None)
+            head = entries.popleft()
+            # Queued mates never started: back to the front of the
+            # queue, no blame, no retry charged.
+            for mate in reversed(entries):
+                pending.appendleft(mate)
+            attempts[head] += 1
+            excluded[head].add(shard.id)
+            if attempts[head] > MAX_RETRIES:
                 raise ShardError(
-                    f"shards: point {index} {why} {attempts[index]} "
+                    f"shards: point {head} {why} {attempts[head]} "
                     f"time(s) (last worker {shard.id}); giving up after "
                     f"{MAX_RETRIES} retries")
             stats["retries"] += 1
             warnings.warn(
-                f"shards: worker {shard.id} {why} on point {index}; "
+                f"shards: worker {shard.id} {why} on point {head}; "
                 f"requeueing on another worker "
-                f"(attempt {attempts[index] + 1}/{MAX_RETRIES + 1})",
+                f"(attempt {attempts[head] + 1}/{MAX_RETRIES + 1})",
                 RuntimeWarning, stacklevel=4)
-            pending.appendleft(index)
+            pending.appendleft(head)
 
         while completed < n:
-            # Hand every idle worker the first job it is allowed to
-            # run.  A fleet kept alive by a wider earlier sweep may
-            # hold more daemons than this sweep asked for; the cap
-            # keeps --workers an honest concurrency bound.
+            # Fill every worker's pipeline with the first jobs it is
+            # allowed to run, batching the frames into one write.  A
+            # fleet kept alive by a wider earlier sweep may hold more
+            # daemons than this sweep asked for; the cap keeps
+            # --workers an honest concurrency bound.
             active = [s for s in self._fleet if s.alive][:fleet_size]
             for shard in active:
-                if shard.busy or not pending:
+                if shard.depth >= PREFETCH or not pending:
                     continue
-                pick = next((i for i in pending
-                             if shard.id not in excluded[i]), None)
-                if pick is None:
+                was_idle = shard.depth == 0
+                picked: list[int] = []
+                frames: list[dict] = []
+                while shard.depth + len(picked) < PREFETCH:
+                    pick = next((i for i in pending
+                                 if shard.id not in excluded[i]), None)
+                    if pick is None:
+                        break
+                    pending.remove(pick)
+                    picked.append(pick)
+                    frames.append(
+                        task_frame(f"{epoch}:{pick}", ref, points[pick],
+                                   seeds[pick], ff))
+                if not picked:
                     continue
-                pending.remove(pick)
-                frame = task_frame(f"{epoch}:{pick}", ref, points[pick],
-                                   seeds[pick], ff)
-                if not shard.send(frame):
+                if not shard.send_many(frames):
                     # Write failure = the worker is gone; its EOF event
-                    # will prune it.  The job never left the queue side.
-                    pending.appendleft(pick)
+                    # will prune it.  The jobs never left the queue side.
+                    for pick in reversed(picked):
+                        pending.appendleft(pick)
                     shard.kill()
                     continue
-                shard.busy = True
+                entries = inflight.get(shard)
+                if entries is None:
+                    entries = inflight[shard] = deque()
+                entries.extend(picked)
+                shard.depth += len(picked)
                 used.add(shard.id)
                 stats["workers_used"] = len(used)
-                deadline = (time.monotonic() + timeout) if timeout else None
-                inflight[shard] = (pick, deadline)
+                if timeout and was_idle:
+                    # The head starts immediately; mates queue behind
+                    # it and get their deadline when they reach the
+                    # head (a stale-busy worker arms on the stale
+                    # task's completion frame instead).
+                    deadlines[shard] = time.monotonic() + timeout
 
             # Liveness: jobs remain but nothing is running and no idle
             # worker may take them (all excluded, or the fleet died).
             # A fresh worker has a fresh id, so it can take anything.
             if pending and not inflight:
-                stale_busy = any(s.busy and s.alive for s in self._fleet)
+                stale_busy = any(s.depth and s.alive for s in self._fleet)
                 if not stale_busy:
                     try:
                         self._spawn_one()
@@ -257,29 +312,28 @@ class ShardsBackend(Backend):
                     continue
 
             wait = None
-            if timeout and inflight:
-                armed = [d for _, d in inflight.values() if d is not None]
-                if armed:
-                    wait = max(0.01, min(armed) - time.monotonic())
+            if timeout and deadlines:
+                wait = max(0.01,
+                           min(deadlines.values()) - time.monotonic())
             try:
                 kind, shard, frame = self._outq.get(timeout=wait)
             except queue.Empty:
                 # Per-trial budget exceeded: kill the straggler; the
                 # EOF event takes the shared crash/requeue path.
                 now = time.monotonic()
-                for straggler, (index, deadline) in list(inflight.items()):
-                    if deadline is not None and now >= deadline:
+                for straggler, deadline in list(deadlines.items()):
+                    if now >= deadline:
                         stats["timeouts"] += 1
                         warnings.warn(
-                            f"shards: worker {straggler.id} exceeded the "
-                            f"{timeout:g}s per-trial timeout on point "
-                            f"{index}; killing it", RuntimeWarning,
-                            stacklevel=2)
+                            f"shards: worker {straggler.id} exceeded "
+                            f"the {timeout:g}s per-trial timeout on "
+                            f"point {inflight[straggler][0]}; killing "
+                            f"it", RuntimeWarning, stacklevel=2)
                         straggler.kill()
                         # Disarm the deadline: the kill fires exactly
                         # once even if the EOF takes a few poll cycles
                         # to arrive; the requeue happens on the EOF.
-                        inflight[straggler] = (index, None)
+                        del deadlines[straggler]
                 continue
 
             if kind == "eof":
@@ -300,20 +354,40 @@ class ShardsBackend(Backend):
             op = frame.get("op")
             if op in ("hello", "pong"):
                 continue
-            shard.busy = False
+            shard.depth = max(0, shard.depth - 1)
             task_id = str(frame.get("id", ""))
             prefix, _, index_text = task_id.partition(":")
+            entries = inflight.get(shard)
             if prefix != str(epoch) or not index_text.isdigit():
-                continue  # stale frame from an aborted previous sweep
+                # Stale frame from an aborted previous sweep: the
+                # worker now starts this sweep's head, if it has one.
+                if timeout and entries:
+                    deadlines[shard] = time.monotonic() + timeout
+                continue
             index = int(index_text)
-            if shard in inflight and inflight[shard][0] == index:
-                del inflight[shard]
+            if entries and entries[0] == index:
+                entries.popleft()
+                if entries:
+                    if timeout:
+                        # The queued mate is now the running head.
+                        deadlines[shard] = time.monotonic() + timeout
+                else:
+                    del inflight[shard]
+                    deadlines.pop(shard, None)
             if results[index] is not _UNSET:
                 continue  # duplicate (e.g. raced with a timeout kill)
             if not frame.get("ok"):
                 raise_remote(frame)
-            if frame.get("ff_totals"):
-                fastforward.absorb_totals(frame["ff_totals"])
+            worker_totals = frame.get("ff_totals")
+            if worker_totals:
+                fastforward.absorb_totals(worker_totals)
+                # Per-sweep engagement evidence: last_stats reports
+                # only this run()'s totals, while the process-wide
+                # fastforward totals keep accumulating across sweeps.
+                sweep_totals = stats["ff_totals"]
+                for key, value in worker_totals.items():
+                    if key in sweep_totals:
+                        sweep_totals[key] += value
             value = decode_value(frame["result"])
             results[index] = value
             completed += 1

@@ -15,8 +15,12 @@ Hygiene the daemon guarantees:
 * ``REPRO_IN_WORKER`` is set, so a trial that itself calls
   ``map_trials`` resolves to the serial backend instead of recursively
   spawning fleets;
-* trials run with the cyclic GC paused (the tuned-CLI condition) and a
-  collection after each trial picks up the per-trial cycles;
+* trials run with the cyclic GC paused (the tuned-CLI condition); a
+  cheap young-generation collection after each trial picks up the
+  per-trial cycles, with a full collection every
+  :data:`GC_FULL_EVERY` tasks to bound old-generation drift (a full
+  pass in a warm worker costs more than a no-op trial's entire
+  dispatch, so paying it per task dominated warm dispatch overhead);
 * each task's ``ff`` field re-applies the coordinator's fast-forward
   forced mode, so differential checks stay meaningful through remote
   execution;
@@ -42,6 +46,11 @@ from repro.dist.protocol import (
     parse_frame,
     resolve_fn,
 )
+
+#: Tasks between full garbage collections (young-generation passes run
+#: after every task and are near-free; a full pass is ~ms in a warm
+#: worker, so amortizing it keeps per-trial dispatch overhead low).
+GC_FULL_EVERY = 32
 
 
 def _warm() -> None:
@@ -112,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
                             "version": PROTOCOL_VERSION}))
 
     gc.disable()
+    tasks_since_full_gc = 0
     try:
         for line in sys.stdin:
             frame = parse_frame(line)
@@ -132,7 +142,12 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"worker: unknown op {op!r}", file=sys.stderr)
                 continue
             reply = _run_task(frame)
-            gc.collect()
+            tasks_since_full_gc += 1
+            if tasks_since_full_gc >= GC_FULL_EVERY:
+                tasks_since_full_gc = 0
+                gc.collect()
+            else:
+                gc.collect(1)
             try:
                 proto.write(dump_frame(reply))
             except (TypeError, ValueError):

@@ -147,6 +147,33 @@ def _bench_covert_trial() -> tuple[float, dict]:
     return elapsed, canary
 
 
+def _bench_covert_steadystate() -> tuple[float, float, bool]:
+    """The steady-state-dominated covert trial: the PRAC sender +
+    receiver channel with long (200 us) windows, where idle and
+    post-back-off stretches dominate and the multi-agent fast-forward
+    engine should be carrying the run.  Returns the FF-on wall
+    seconds, the FF-off wall seconds, and a bit-identity check of the
+    two worlds (decoded message + ground truth -- the equivalence
+    canary for the jump engine itself)."""
+    from repro.core.prac_channel import PracChannelConfig, PracCovertChannel
+    from repro.sim import fastforward
+
+    def one_world(mode: str):
+        with fastforward.forced(mode):
+            channel = PracCovertChannel(
+                PracChannelConfig(window_ps=200_000_000))
+            start = time.perf_counter()
+            result = channel.transmit(list(CANARY_SENT))
+            return time.perf_counter() - start, result
+
+    off_seconds, off = one_world("off")
+    on_seconds, on = one_world("on")
+    identical = (on.decoded == off.decoded
+                 and on.ground_truth_backoffs == off.ground_truth_backoffs
+                 and on.ground_truth_rfms == off.ground_truth_rfms)
+    return on_seconds, off_seconds, identical
+
+
 def _pinned_scenario():
     """A fixed probe scenario exercising the declarative layer end to
     end (spec round-trip, registry resolution, build, run)."""
@@ -297,6 +324,18 @@ def _collect_metrics_inner(config, metrics, log):
         times.append(elapsed)
     metrics["covert_trial_seconds"] = round(min(times), 4)
     metrics["covert_trial_canary_ok"] = bool(canary.get("ok"))
+
+    log("covert channel: steady-state trial (ff off vs on) ...")
+    on_times, off_times, identical = [], [], True
+    for _ in range(max(1, config.repeats)):
+        on_s, off_s, same = _bench_covert_steadystate()
+        on_times.append(on_s)
+        off_times.append(off_s)
+        identical = identical and same
+    metrics["covert_steadystate_trial_seconds"] = round(min(on_times), 4)
+    metrics["covert_steadystate_ff_speedup"] = round(
+        min(off_times) / min(on_times), 2)
+    metrics["covert_steadystate_identical"] = identical
 
     log("scenario: spec round-trip + build ...")
     rates = _best(lambda: _bench_scenario_build(config.scenario_builds),

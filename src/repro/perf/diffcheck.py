@@ -333,12 +333,15 @@ def write_artifact(spec, outcome: DiffOutcome,
 # ----------------------------------------------------------------------
 def run_diffcheck(*, experiments: list[str] | None = None,
                   fuzz: int = 0, fuzz_seed: int = 0x5EED,
+                  fuzz_multi: int = 0, fuzz_multi_seed: int = 0xA117,
                   spec_files: list[str] | None = None,
                   artifact_dir: str | None = None,
                   backend: str | None = None,
                   log=lambda msg: None) -> DiffReport:
-    """The full sweep: named experiments + fuzzed scenario specs +
-    explicit spec files.
+    """The full sweep: named experiments + fuzzed scenario specs (the
+    adversarial single-probe profile plus ``fuzz_multi`` multi-agent
+    periodic casts aimed at the joint fast-forward path) + explicit
+    spec files.
 
     ``backend`` selects the sweep-execution backend the *experiment*
     runs fan out over (see :mod:`repro.dist`) — the equivalence check
@@ -349,7 +352,7 @@ def run_diffcheck(*, experiments: list[str] | None = None,
     state).
     """
     from repro.dist import check_backend_name, execution
-    from repro.scenario.fuzz import random_spec
+    from repro.scenario.fuzz import random_multiagent_spec, random_spec
     from repro.scenario.spec import ScenarioSpec
 
     if backend is not None:
@@ -361,6 +364,11 @@ def run_diffcheck(*, experiments: list[str] | None = None,
             report.outcomes.append(diff_experiment(name))
     for i in range(fuzz):  # in-process: deep capture reads live state
         spec = random_spec(fuzz_seed + i)
+        log(f"scenario {spec.name} ...")
+        report.outcomes.append(
+            diff_scenario(spec, artifact_dir=artifact_dir))
+    for i in range(fuzz_multi):
+        spec = random_multiagent_spec(fuzz_multi_seed + i)
         log(f"scenario {spec.name} ...")
         report.outcomes.append(
             diff_scenario(spec, artifact_dir=artifact_dir))

@@ -155,3 +155,104 @@ def random_spec(seed: int, *, max_agents: int = 3) -> ScenarioSpec:
 def random_specs(n: int, base_seed: int = 0x5EED) -> list[ScenarioSpec]:
     """``n`` seeded specs with distinct, reproducible seeds."""
     return [random_spec(base_seed + i) for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Multi-agent periodic casts (the joint fast-forward fuzz profile)
+# ----------------------------------------------------------------------
+def _periodic_probe(rng: random.Random, index: int,
+                    bank: tuple[int, int]) -> AgentSpec:
+    """A jitter-free bounded probe: the periodic-friendly variant the
+    joint steady-state detector can actually engage with."""
+    first = rng.randrange(0, 48)
+    n_rows = rng.choice((1, 2))
+    return AgentSpec("probe", name=f"probe-{index}", params={
+        "bank": bank,
+        "rows": [first + i * 8 for i in range(n_rows)],
+        "max_samples": rng.randrange(60, 250),
+        "accesses_per_addr": rng.choice((1, 1, 2)),
+    })
+
+
+def random_multiagent_spec(seed: int) -> ScenarioSpec:
+    """One seeded multi-agent *periodic* scenario spec (deterministic
+    per seed): two or three agents whose superposition the joint
+    steady-state fast-forward path must either jump bit-identically or
+    soundly decline.
+
+    Where :func:`random_spec` is adversarial (jitter, stop-on
+    watchers), every cast here is periodic-friendly -- co-running
+    probes, a probe against an activation-noise generator, or a
+    window-synchronized covert sender + receiver pair -- so these
+    specs drive the joint detector's *engagement* paths, not just its
+    refusals.
+    """
+    rng = random.Random(seed)
+    system = random_system(rng)
+    cast = rng.choice(("probes", "probes", "three", "probe+noise",
+                       "covert", "covert"))
+    shared_bank = (rng.randrange(4), rng.randrange(4))
+    other_bank = (rng.randrange(4), rng.randrange(4))
+
+    if cast in ("probes", "three"):
+        # Same-bank probes interleave in the controller; split-bank
+        # probes superpose as commensurate independent loops.  Both
+        # shapes must hold bit-identically under joint jumps.
+        banks = [shared_bank,
+                 shared_bank if rng.random() < 0.5 else other_bank]
+        if cast == "three":
+            banks.append(other_bank)
+        agents = [_periodic_probe(rng, i, bank)
+                  for i, bank in enumerate(banks)]
+    elif cast == "probe+noise":
+        agents = [
+            _periodic_probe(rng, 0, shared_bank),
+            AgentSpec("noise", name="noise-1", params={
+                "bank": shared_bank if rng.random() < 0.5 else other_bank,
+                "rows": [rng.randrange(64, 96), rng.randrange(96, 128)],
+                "intensity": rng.choice((1.0, 30.0, 80.0)),
+                "stop_time": rng.randrange(400 * US, 1 * MS),
+                "burst": rng.choice((1, 2)),
+            }),
+        ]
+    else:  # covert: window-synchronized sender + receiver (+ noise)
+        n_windows = rng.randrange(3, 6)
+        window_ps = rng.choice((10 * US, 25 * US))
+        epoch = 2 * US
+        symbols = [rng.randrange(2) for _ in range(n_windows)]
+        gaps = {0: None, 1: rng.choice((0, 100 * NS))}
+        agents = [
+            AgentSpec("sender", name="sender", params={
+                "bank": shared_bank, "rows": (0,),
+                "symbols": symbols, "epoch": epoch,
+                "window_ps": window_ps, "gaps": gaps,
+                "stop_on_backoff": rng.random() < 0.5}),
+            AgentSpec("receiver", name="receiver", params={
+                "bank": shared_bank, "rows": (8,),
+                "n_windows": n_windows, "epoch": epoch,
+                "window_ps": window_ps,
+                "sleep_on_backoff": rng.random() < 0.5}),
+        ]
+        if rng.random() < 0.3:
+            agents.append(AgentSpec("noise", name="noise-1", params={
+                "bank": shared_bank, "rows": (16, 24),
+                "intensity": rng.choice((1.0, 30.0)),
+                "stop_time": epoch + n_windows * window_ps}))
+
+    measurements = [MeasurementSpec("counters")]
+    for agent in agents:
+        if agent.kind in ("probe", "receiver"):
+            measurements.append(MeasurementSpec(
+                "samples", label=f"samples-{agent.name}",
+                params={"agent": agent.name, "raw": True}))
+            measurements.append(MeasurementSpec(
+                "latency-classes", label=f"classes-{agent.name}",
+                params={"agent": agent.name}))
+
+    return ScenarioSpec(
+        name=f"fuzz-multi-{seed}",
+        system=system,
+        agents=tuple(agents),
+        stop=StopSpec(hard_limit_ps=400 * MS),
+        measurements=tuple(measurements),
+    )

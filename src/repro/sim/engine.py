@@ -88,8 +88,12 @@ class Simulator:
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------
-    def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> None:
+    def schedule_at(self, time_ps: int, callback: Callable[[], None]) -> int:
         """Schedule ``callback`` to run at absolute time ``time_ps``.
+
+        Returns the sequence number assigned to the event (the
+        fast-forward holder machinery records it so shifted events keep
+        their deterministic tie-break position).
 
         Lane admission (inlined in every scheduling method -- this is
         the hot path): the FIFO lane takes events at or beyond its tail
@@ -110,6 +114,7 @@ class Simulator:
             self._imm.append((time_ps, seq, callback, _NO_ARG))
         else:
             heapq.heappush(self._heap, (time_ps, seq, callback, _NO_ARG))
+        return seq
 
     def schedule(self, delay_ps: int, callback: Callable[[], None]) -> None:
         """Schedule ``callback`` to run ``delay_ps`` picoseconds from now."""
@@ -130,12 +135,13 @@ class Simulator:
             heapq.heappush(self._heap, (time_ps, seq, callback, _NO_ARG))
 
     def schedule_call_at(self, time_ps: int, callback: Callable,
-                         arg) -> None:
+                         arg) -> int:
         """Schedule ``callback(arg)`` at absolute time ``time_ps``.
 
         Equivalent to ``schedule_at(time_ps, lambda: callback(arg))``
         but allocation-free on the hot path: no closure is created, the
-        argument rides along in the event entry itself.
+        argument rides along in the event entry itself.  Returns the
+        assigned sequence number (see :meth:`schedule_at`).
         """
         if time_ps < self.now:
             raise SimulationError(
@@ -151,6 +157,7 @@ class Simulator:
             self._imm.append((time_ps, seq, callback, arg))
         else:
             heapq.heappush(self._heap, (time_ps, seq, callback, arg))
+        return seq
 
     def schedule_call(self, delay_ps: int, callback: Callable, arg) -> None:
         """Schedule ``callback(arg)`` after ``delay_ps`` picoseconds."""
@@ -194,6 +201,35 @@ class Simulator:
         finally:
             self._seq = seq
         return count
+
+    def push_entry(self, time_ps: int, seq: int, callback: Callable,
+                   arg=_NO_ARG) -> None:
+        """Insert an event with an explicit ``(time, seq)`` key.
+
+        The steady-state fast-forward coordinator uses this to *shift*
+        a parked agent's wake event across a jumped window: the shifted
+        entry carries exactly the sequence number event-accurate
+        execution would have assigned at the post-jump timestamp, so
+        same-instant tie-breaks stay bit-identical.  The key must not
+        lie in the executed past; entries always land on the heap (a
+        shift is rare -- once per jump per agent, not per event).
+        """
+        if time_ps < self.now:
+            raise SimulationError(
+                f"cannot push an entry at {time_ps} ps; now is "
+                f"{self.now} ps")
+        heapq.heappush(self._heap, (time_ps, seq, callback, arg))
+
+    def iter_pending(self) -> "Iterable[tuple]":
+        """Iterate over all pending ``(time, seq, callback, arg)``
+        entries, in no particular order (valid between runs and from
+        inside event callbacks).  The fast-forward coordinator scans
+        this to separate *foreign* events (refresh ticks, defense
+        timers, unmanaged agents) from parked participant wake events
+        it is about to shift."""
+        yield from self._imm[self._imm_head:]
+        yield from self._fifo[self._fifo_head:]
+        yield from self._heap
 
     # ------------------------------------------------------------------
     # Execution

@@ -59,6 +59,25 @@ def ff_enabled(point):
     return fastforward.resolve_enabled(None)
 
 
+def ff_jumping_trial(point):
+    """A tiny probe run with fast-forward forced on, guaranteed to
+    take steady-state jumps in the worker (the engagement-totals
+    shipping path needs a trial with nonzero jump counts)."""
+    from repro.cpu.probe import LatencyProbe
+    from repro.sim import fastforward
+    from repro.sim.config import SystemConfig
+    from repro.system import MemorySystem
+
+    with fastforward.forced("on"):
+        system = MemorySystem(SystemConfig())
+        probe = LatencyProbe(system, [system.mapper.encode(row=5)],
+                             max_samples=200)
+        probe.start()
+        while not probe.done:
+            system.sim.run(until=system.sim.now + 1_000_000)
+    return system.fast_forward.jumps
+
+
 def always_crash(point):
     """Hard-kill the hosting worker, every time."""
     os._exit(13)

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.scenario.fuzz import (  # noqa: F401  (re-exports)
     FUZZ_DEFENSES,
+    random_multiagent_spec,
     random_spec,
     random_specs,
     random_system,

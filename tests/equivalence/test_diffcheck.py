@@ -20,7 +20,11 @@ from repro.perf.diffcheck import (
     write_artifact,
 )
 from repro.scenario.spec import ScenarioSpec
-from tests.equivalence.strategies import corpus, random_spec
+from tests.equivalence.strategies import (
+    corpus,
+    random_multiagent_spec,
+    random_spec,
+)
 
 
 class TestFuzzer:
@@ -46,6 +50,37 @@ class TestFuzzer:
         kinds = {spec.system.defense.kind.value
                  for _seed, spec in corpus()}
         assert len(kinds) >= 3
+
+
+class TestMultiAgentFuzzer:
+    """The joint fast-forward fuzz profile: two/three-agent periodic
+    casts (``--fuzz-multi``)."""
+
+    def test_same_seed_same_spec(self):
+        assert (random_multiagent_spec(42).to_dict()
+                == random_multiagent_spec(42).to_dict())
+
+    def test_casts_cover_the_multiagent_shapes(self):
+        sizes = set()
+        kinds = set()
+        for seed in range(2000, 2060):
+            spec = random_multiagent_spec(seed)
+            sizes.add(len(spec.agents))
+            kinds.update(a.kind for a in spec.agents)
+        assert {2, 3} <= sizes  # two- and three-agent mixes
+        assert {"probe", "noise", "sender", "receiver"} <= kinds
+
+    def test_specs_are_periodic_and_round_trip(self):
+        for seed in range(2000, 2012):
+            spec = random_multiagent_spec(seed)
+            assert len(spec.agents) >= 2, seed
+            for agent in spec.agents:
+                # Periodic-friendly by construction: no jitter, no
+                # stop-on watchers on the probes.
+                assert "jitter_ps" not in agent.params, seed
+                assert "stop_on" not in agent.params, seed
+            assert ScenarioSpec.from_dict(
+                json.loads(spec.to_json())) == spec
 
 
 class TestFirstDiff:
@@ -84,6 +119,14 @@ class TestDifferential:
     def test_every_registered_experiment_has_diff_params(self):
         assert set(EXPERIMENT_PARAMS) == set(experiment_names())
 
+    @pytest.mark.parametrize("seed", [2005,   # two same/split-bank probes
+                                      2029,   # three probes
+                                      2000])  # covert sender + receiver
+    def test_multiagent_specs_bit_identical(self, seed):
+        outcome = diff_scenario(random_multiagent_spec(seed),
+                                shrink=False)
+        assert outcome.identical, outcome.detail
+
 
 class TestShrinking:
     def test_shrinks_to_minimal_failing_spec(self, monkeypatch):
@@ -110,6 +153,57 @@ class TestShrinking:
         assert any(a.kind == "app" for a in minimal.agents)
         assert len(minimal.agents) < len(spec.agents) or \
             len(spec.agents) == 1
+
+    def test_two_agent_injected_divergence_yields_minimal_artifact(
+            self, monkeypatch, tmp_path):
+        """Full path on a two-probe periodic spec: poison every
+        fast-forward-on deep run, so diff_scenario detects the
+        divergence, shrinks, and writes the failing-spec artifact."""
+        import repro.perf.diffcheck as dc
+
+        real_run = dc.deep_scenario_run
+        calls = {"n": 0}
+
+        def poisoned(spec):
+            doc = real_run(spec)
+            calls["n"] += 1
+            if calls["n"] % 2 == 0:  # every second run is the FF world
+                doc["injected_divergence"] = True
+            return doc
+
+        monkeypatch.setattr(dc, "deep_scenario_run", poisoned)
+        spec = random_multiagent_spec(2005)  # two probes
+        assert len(spec.agents) == 2
+        outcome = dc.diff_scenario(spec, artifact_dir=str(tmp_path))
+        assert not outcome.identical
+        assert "injected_divergence" in outcome.detail
+        data = json.loads((tmp_path / outcome.artifact.rsplit("/", 1)[-1])
+                          .read_text())
+        minimal = ScenarioSpec.from_dict(data["scenario"])
+        # The injected failure survives every shrink, so the artifact
+        # holds the fully-minimized spec: one agent, scales floored.
+        assert len(minimal.agents) == 1
+        assert minimal.agents[0].params["max_samples"] <= 8
+        assert data["first_mismatch"] == outcome.detail
+
+    def test_three_agent_shrink_keeps_the_failing_pair(self,
+                                                       monkeypatch):
+        """Synthetic predicate on a three-probe spec: a mismatch that
+        needs two co-running probes must shrink to exactly that pair,
+        not below it."""
+        import repro.perf.diffcheck as dc
+
+        def fake_mismatch(spec):
+            return sum(a.kind == "probe" for a in spec.agents) >= 2
+
+        monkeypatch.setattr(dc, "_mismatches", fake_mismatch)
+        spec = random_multiagent_spec(2029)  # three probes
+        assert len(spec.agents) == 3
+        minimal = shrink_spec(spec)
+        assert len(minimal.agents) == 2
+        assert all(a.kind == "probe" for a in minimal.agents)
+        assert not minimal.measurements  # stripped to ground truth
+        assert all(a.params["max_samples"] <= 8 for a in minimal.agents)
 
     def test_artifact_round_trips_through_spec_cli(self, tmp_path):
         spec = random_spec(1205)

@@ -260,6 +260,114 @@ class TestEdgeCases:
         assert len(fp.samples) > 20  # it did run
 
 
+class TestJointEquivalence:
+    """Superposed periodic steady states: multi-agent casts must be
+    bit-identical with joint fast-forward on, and the periodic-friendly
+    shapes must actually engage the joint detector."""
+
+    @staticmethod
+    def _probe(name, bank, row, max_samples=240):
+        from repro.scenario.spec import AgentSpec
+
+        return AgentSpec("probe", name=name, params={
+            "bank": bank, "rows": [row], "max_samples": max_samples,
+            "accesses_per_addr": 1})
+
+    @staticmethod
+    def _spec(name, agents):
+        from repro.scenario.spec import (
+            MeasurementSpec,
+            ScenarioSpec,
+            StopSpec,
+        )
+        from repro.sim.engine import MS
+
+        measurements = [MeasurementSpec("counters")]
+        for agent in agents:
+            if agent.kind in ("probe", "receiver"):
+                measurements.append(MeasurementSpec(
+                    "samples", label=f"samples-{agent.name}",
+                    params={"agent": agent.name, "raw": True}))
+        return ScenarioSpec(
+            name=name,
+            system=SystemConfig(
+                defense=DefenseParams(kind=DefenseKind.PRAC, nbo=64),
+                refresh_policy=RefreshPolicy.POSTPONE_PAIR),
+            agents=tuple(agents),
+            stop=StopSpec(hard_limit_ps=400 * MS),
+            measurements=tuple(measurements))
+
+    @staticmethod
+    def _both_worlds(spec):
+        """(first_diff, totals delta) for one spec run off then on."""
+        from repro.perf.diffcheck import deep_scenario_run, first_diff
+
+        with fastforward.forced("off"):
+            base = deep_scenario_run(spec)
+        before = fastforward.totals()
+        with fastforward.forced("on"):
+            fast = deep_scenario_run(spec)
+        after = fastforward.totals()
+        return (first_diff(fast, base),
+                {k: after[k] - before[k] for k in after})
+
+    def test_two_split_bank_probes_joint_jump(self):
+        """Two commensurate probes on different banks: neither can jump
+        alone (the other's wakes foul its horizon), so any jumps here
+        are the joint detector's."""
+        diff, delta = self._both_worlds(self._spec("joint-split", [
+            self._probe("p0", (0, 0), 5),
+            self._probe("p1", (1, 0), 9)]))
+        assert diff is None, diff
+        assert delta["joint_jumps"] > 0
+
+    def test_two_same_bank_probes_identical(self):
+        """Interleaving in one bank FIFO: harder physics the joint path
+        must jump bit-identically or soundly decline."""
+        diff, _delta = self._both_worlds(self._spec("joint-same", [
+            self._probe("p0", (0, 0), 5),
+            self._probe("p1", (0, 0), 13)]))
+        assert diff is None, diff
+
+    def test_sender_receiver_joint_jump_and_replay(self):
+        """The paper's covert pair: window-synchronized sender +
+        receiver.  The raw per-sample capture pins the receiver's
+        batched ``on_sample`` observer replay sample by sample."""
+        from repro.scenario.spec import AgentSpec
+        from repro.sim.engine import US
+
+        sender = AgentSpec("sender", name="sender", params={
+            "bank": (0, 0), "rows": (0,), "symbols": [1, 0, 1, 0],
+            "epoch": 2 * US, "window_ps": 25 * US,
+            "gaps": {0: None, 1: 0}, "stop_on_backoff": False})
+        receiver = AgentSpec("receiver", name="receiver", params={
+            "bank": (0, 0), "rows": (8,), "n_windows": 4,
+            "epoch": 2 * US, "window_ps": 25 * US,
+            "sleep_on_backoff": False})
+        diff, delta = self._both_worlds(
+            self._spec("joint-covert", [sender, receiver]))
+        assert diff is None, diff
+        assert delta["joint_jumps"] > 0
+        assert delta["samples"] > 0  # synthesized receiver samples
+
+    def test_probe_with_rw_noise_excluded_but_identical(self):
+        """A read/write-mix noise agent is ineligible (writes change
+        bank state the extrapolator does not model): the joint path
+        must refuse while it lives, and the run stays bit-identical.
+        Single-agent jumps may still fire once the noise retires."""
+        from repro.scenario.spec import AgentSpec
+        from repro.sim.engine import US
+
+        noise = AgentSpec("mixed-noise", name="rw", params={
+            "bank": (1, 0), "rows": [70, 100], "intensity": 30.0,
+            "stop_time": 300 * US, "burst": 1, "write_ratio": 0.5})
+        diff, delta = self._both_worlds(self._spec("joint-rw", [
+            self._probe("p0", (0, 0), 5), noise]))
+        assert diff is None, diff
+        assert delta["joint_jumps"] == 0
+        assert delta["jumps"] > 0  # post-retirement single jumps
+
+
 class TestWakeElision:
     def test_tail_submit_matches_plain_submit(self):
         """The elided-wake service path is bit-identical to the

@@ -33,6 +33,9 @@ class TestMetrics:
             "controller_conflict_requests_per_sec",
             "covert_trial_seconds",
             "covert_trial_canary_ok",
+            "covert_steadystate_trial_seconds",
+            "covert_steadystate_ff_speedup",
+            "covert_steadystate_identical",
             "scenario_build_per_sec",
             "scenario_trial_seconds",
             "backend_dispatch_overhead_seconds",
@@ -49,6 +52,10 @@ class TestMetrics:
 
     def test_canary_passes_on_faithful_simulator(self, metrics):
         assert metrics["covert_trial_canary_ok"] is True
+
+    def test_steadystate_equivalence_canary(self, metrics):
+        assert metrics["covert_steadystate_identical"] is True
+        assert metrics["covert_steadystate_trial_seconds"] > 0
 
 
 class TestCompare:
