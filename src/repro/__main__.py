@@ -10,8 +10,10 @@ Subcommands::
     python -m repro scenario list         # scenario presets + kinds
     python -m repro scenario describe prac-covert
     python -m repro scenario run prac-probe -p system.defense.nbo=64
-    python -m repro cache stats           # result-cache introspection
+    python -m repro cache stats [--json]  # result-cache introspection
     python -m repro cache prune --older-than 7d
+    python -m repro serve --port 8123     # results-as-a-service HTTP API
+    python -m repro artifacts fig3 --format md
     python -m repro worker                # sweep-worker daemon (internal)
 
 ``run`` and ``scenario run`` go through the on-disk result cache
@@ -40,7 +42,7 @@ import json
 import os
 import sys
 
-from repro.analysis.figures import FigureTable
+from repro.analysis.figures import FigureTable, iter_tables
 from repro.analysis.report import quick_report
 from repro.exp.registry import RegistryError, all_experiments
 from repro.exp.runner import ExperimentParamError, run_experiment
@@ -60,18 +62,6 @@ def _parse_param(text: str) -> tuple[str, object]:
     except json.JSONDecodeError:
         value = raw
     return key, value
-
-
-def iter_tables(value):
-    """Yield every FigureTable reachable inside an experiment result."""
-    if isinstance(value, FigureTable):
-        yield value
-    elif isinstance(value, dict):
-        for item in value.values():
-            yield from iter_tables(item)
-    elif isinstance(value, (list, tuple)):
-        for item in value:
-            yield from iter_tables(item)
 
 
 def _scale_text(scale: dict) -> str:
@@ -463,6 +453,11 @@ def cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir)
     if args.cache_command == "stats":
         stats = cache.stats()
+        if args.json:
+            # Machine-readable form: the exact dict the server exposes
+            # on GET /v1/cache/stats (one code path, two transports).
+            print(json.dumps(stats, indent=1, sort_keys=True))
+            return 0
         table = FigureTable("Result cache", ["property", "value"])
         table.add_row("directory", stats["directory"])
         table.add_row("entries", stats["entries"])
@@ -494,6 +489,87 @@ def cmd_worker(args) -> int:
     from repro.dist.worker import main as worker_main
 
     return worker_main(["--no-warm"] if args.no_warm else [])
+
+
+# ----------------------------------------------------------------------
+# Serve + artifacts subcommands
+# ----------------------------------------------------------------------
+def cmd_serve(args) -> int:
+    from repro.dist import BackendError, check_backend_name
+    from repro.serve.server import run_server
+
+    if args.backend is not None:
+        try:
+            check_backend_name(args.backend)
+        except BackendError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    return run_server(args.host, args.port, backend=args.backend,
+                      workers=args.workers, cache_dir=args.cache_dir,
+                      drain_s=args.drain_timeout)
+
+
+def cmd_artifacts(args) -> int:
+    from repro.serve.artifacts import (
+        ArtifactError,
+        CONTENT_TYPES,
+        render_artifact,
+    )
+
+    params = dict(args.param or [])
+    try:
+        from repro.exp.registry import get_experiment
+
+        if args.quick:
+            spec = get_experiment(args.experiment)
+            if spec.quick is None:
+                print(f"error: experiment {args.experiment!r} has no "
+                      "quick parameterization", file=sys.stderr)
+                return 2
+            merged = dict(spec.quick)
+            merged.update(params)
+            params = merged
+        # Cache-aware: a cached result renders instantly, a miss
+        # computes through the same path as `repro run` (so the key,
+        # checksum, and bytes agree with the server's artifact GETs).
+        with _execution(args), _gc_paused():
+            run = run_experiment(args.experiment, params,
+                                 use_cache=not args.no_cache,
+                                 cache_dir=args.cache_dir)
+    except (RegistryError, ExperimentParamError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    formats = (list(CONTENT_TYPES) if args.format == "all"
+               else [args.format])
+    if args.out_dir == "-":
+        if len(formats) != 1 or formats[0] == "png":
+            print("error: --out-dir - needs a single text format "
+                  "(--format json or --format md)", file=sys.stderr)
+            return 2
+        _, payload = render_artifact(run.name, run.params, run.key,
+                                     run.value, formats[0])
+        sys.stdout.write(payload.decode("utf-8"))
+        return 0
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    for fmt in formats:
+        try:
+            _, payload = render_artifact(run.name, run.params, run.key,
+                                         run.value, fmt)
+        except ArtifactError as exc:
+            # `all` renders what it can (e.g. a table-less result has
+            # no chart); an explicitly requested format must succeed.
+            if args.format == "all":
+                print(f"skipping .{fmt}: {exc}", file=sys.stderr)
+                continue
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        path = os.path.join(args.out_dir, f"{run.name}.{fmt}")
+        with open(path, "wb") as handle:
+            handle.write(payload)
+        print(f"wrote {path} ({len(payload)} bytes)", file=sys.stderr)
+    return 0
 
 
 def get_canonical_name(name: str) -> str:
@@ -703,7 +779,57 @@ def build_parser() -> argparse.ArgumentParser:
                                metavar="AGE",
                                help="age threshold, e.g. 7d, 12h, 30m, "
                                     "or plain seconds")
+        if name == "stats":
+            c_sub.add_argument("--json", action="store_true",
+                               help="print the raw statistics document "
+                                    "(same shape as GET /v1/cache/stats)")
         c_sub.set_defaults(func=cmd_cache)
+
+    p_serve = sub.add_parser(
+        "serve", help="HTTP results service: cached answers instantly, "
+                      "misses as queued jobs with streamed progress")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8123,
+                         help="TCP port (default: 8123; 0 = ephemeral, "
+                              "printed on stderr)")
+    _add_backend_option(p_serve)
+    p_serve.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="worker fan-out for queued jobs")
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result cache directory (default: "
+                              ".repro-cache or $REPRO_CACHE_DIR)")
+    p_serve.add_argument("--drain-timeout", type=float, default=10.0,
+                         metavar="SECONDS",
+                         help="grace period for the in-flight job on "
+                              "SIGINT/SIGTERM (default: 10)")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_artifacts = sub.add_parser(
+        "artifacts", help="render a cached experiment result as "
+                          "json/md/png artifacts")
+    p_artifacts.add_argument("experiment", metavar="NAME",
+                             help="experiment name (see `list`)")
+    p_artifacts.add_argument("--format", choices=("json", "md", "png",
+                                                  "all"),
+                             default="all",
+                             help="artifact format(s) to render "
+                                  "(default: all)")
+    p_artifacts.add_argument("--out-dir", default=".", metavar="DIR",
+                             help="output directory (default: current), "
+                                  "or '-' to print a single json/md "
+                                  "artifact to stdout")
+    p_artifacts.add_argument("-p", "--param", action="append",
+                             type=_parse_param, metavar="KEY=VALUE",
+                             help="driver parameter override (JSON value)")
+    p_artifacts.add_argument("--quick", action="store_true",
+                             help="use the experiment's quick-report "
+                                  "parameterization as the base")
+    p_artifacts.add_argument("--no-cache", action="store_true",
+                             help="recompute instead of using the cache")
+    p_artifacts.add_argument("--cache-dir", default=None, metavar="DIR",
+                             help="result cache directory")
+    p_artifacts.set_defaults(func=cmd_artifacts)
 
     p_worker = sub.add_parser(
         "worker", help="sweep-worker daemon: reads NDJSON task frames "
@@ -716,20 +842,32 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.dist import install_signal_shutdown, shutdown_backends
+
+    # SIGTERM must unwind (not hard-kill) so the shards fleet is torn
+    # down; `repro serve` installs its own asyncio handlers instead.
+    install_signal_shutdown()
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command is None:
-        # Legacy interface: `python -m repro [--save PATH]` == report.
-        with _gc_paused():
-            report = quick_report()
-        print(report.to_markdown())
-        if args.legacy_save:
-            path = report.save(args.legacy_save)
-            print(f"\nreport written to {path}", file=sys.stderr)
-        return 0 if report.all_passed else 1
-    if args.legacy_save and getattr(args, "save", None) is None:
-        args.save = args.legacy_save
-    return args.func(args)
+    try:
+        if args.command is None:
+            # Legacy interface: `python -m repro [--save PATH]` == report.
+            with _gc_paused():
+                report = quick_report()
+            print(report.to_markdown())
+            if args.legacy_save:
+                path = report.save(args.legacy_save)
+                print(f"\nreport written to {path}", file=sys.stderr)
+            return 0 if report.all_passed else 1
+        if args.legacy_save and getattr(args, "save", None) is None:
+            args.save = args.legacy_save
+        return args.func(args)
+    except KeyboardInterrupt:
+        # Ctrl-C mid-sweep: drain/kill the worker fleet before exiting
+        # with the conventional 128+SIGINT code.
+        shutdown_backends()
+        print("\ninterrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

@@ -73,6 +73,30 @@ class FigureTable:
         idx = self.columns.index(name)
         return [row[idx] for row in self.rows]
 
+    def to_markdown(self) -> str:
+        """GitHub-flavored markdown rendering (the artifact layer)."""
+        lines = [f"### {self.title}", "",
+                 "| " + " | ".join(self.columns) + " |",
+                 "|" + "|".join("---" for _ in self.columns) + "|"]
+        for row in self.rows:
+            lines.append("| " + " | ".join(self._fmt(v) for v in row)
+                         + " |")
+        for note in self.notes:
+            lines.append(f"\n> note: {note}")
+        return "\n".join(lines)
+
+
+def iter_tables(value):
+    """Yield every FigureTable reachable inside an experiment result."""
+    if isinstance(value, FigureTable):
+        yield value
+    elif isinstance(value, dict):
+        for item in value.values():
+            yield from iter_tables(item)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            yield from iter_tables(item)
+
 
 def render_strip(counts: Sequence[float], max_value: float | None = None
                  ) -> str:

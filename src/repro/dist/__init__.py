@@ -33,6 +33,7 @@ from repro.dist.base import (
     backend_names,
     check_backend_name,
     get_backend,
+    install_signal_shutdown,
     register_backend,
     resolve_backend_name,
     shutdown_backends,
@@ -57,6 +58,7 @@ __all__ = [
     "current_execution",
     "execution",
     "get_backend",
+    "install_signal_shutdown",
     "register_backend",
     "resolve_backend_name",
     "shutdown_backends",

@@ -172,6 +172,32 @@ def shutdown_backends() -> None:
 atexit.register(shutdown_backends)
 
 
+def install_signal_shutdown() -> None:
+    """Make SIGTERM exit through the normal teardown path.
+
+    The default SIGTERM disposition kills the process without running
+    ``finally`` blocks or atexit hooks, which would orphan a shards
+    worker fleet mid-sweep.  This handler raises ``SystemExit(128 +
+    signum)`` instead -- the conventional "terminated by signal" exit
+    code -- so the interpreter unwinds, :func:`shutdown_backends`
+    drains/kills every worker daemon, and ``kill -TERM`` on the
+    coordinator leaves no orphans.  (SIGINT already unwinds as
+    ``KeyboardInterrupt``; callers decide its exit code.)
+
+    No-op where signal handlers cannot be installed (non-main thread,
+    platforms without SIGTERM).
+    """
+    import signal
+
+    def on_term(signum, frame):
+        raise SystemExit(128 + signum)
+
+    try:
+        signal.signal(signal.SIGTERM, on_term)
+    except (ValueError, AttributeError, OSError):  # pragma: no cover
+        pass  # non-main thread / exotic platform: keep the default
+
+
 def resolve_backend_name(explicit: str | None = None, *,
                          workers: int | None = None,
                          n_points: int | None = None) -> str:

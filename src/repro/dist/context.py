@@ -12,10 +12,17 @@ Instead the CLI (and tests) install them ambiently::
 Every ``map_trials`` call inside the block picks them up unless given
 explicitly.  Contexts nest; inner values override outer ones field by
 field.
+
+The stack is **thread-local**: the serve subsystem runs jobs on a
+background runner thread with its own ambient backend/cache/progress,
+and neither that thread's context nor the main thread's may leak into
+the other.  Each thread starts from a fresh default context (contexts
+are deliberately not inherited across ``Thread.start()``).
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
@@ -34,26 +41,34 @@ class ExecutionContext:
     progress: Callable[[int, int, int], None] | None = None
 
 
-_stack: list[ExecutionContext] = [ExecutionContext()]
+_local = threading.local()
+
+
+def _stack() -> list[ExecutionContext]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = [ExecutionContext()]
+    return stack
 
 
 def current_execution() -> ExecutionContext:
-    """The innermost active execution context."""
-    return _stack[-1]
+    """The innermost execution context active on this thread."""
+    return _stack()[-1]
 
 
 @contextmanager
 def execution(backend: str | None = None, trial_cache=None,
               progress=None):
     """Install an execution context for the duration of the block."""
-    outer = _stack[-1]
+    stack = _stack()
+    outer = stack[-1]
     ctx = ExecutionContext(
         backend=backend if backend is not None else outer.backend,
         trial_cache=(trial_cache if trial_cache is not None
                      else outer.trial_cache),
         progress=progress if progress is not None else outer.progress)
-    _stack.append(ctx)
+    stack.append(ctx)
     try:
         yield ctx
     finally:
-        _stack.pop()
+        stack.pop()

@@ -77,6 +77,21 @@ def stable_key(payload) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
+def canonical_checksum(value) -> str:
+    """Checksum of a result's canonical (JSON-safe) form.
+
+    This is the byte-identity contract of the serve subsystem: the
+    server's response ``checksum``, the test suite's server-vs-direct
+    comparisons, and the CI smoke jobs all hash
+    ``json.dumps(canonicalize(value), sort_keys=True)`` -- the exact
+    encoding ``repro run --out`` persists under ``"data"`` -- so a
+    cached HTTP answer can be checked byte-for-byte against a direct
+    ``repro run`` of the same spec.
+    """
+    blob = json.dumps(canonicalize(value), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
 _code_fingerprint: str | None = None
 
 
@@ -110,6 +125,12 @@ class ResultCache:
         if directory is None:
             directory = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
         self.directory = Path(directory)
+        #: Process-local lookup counters (this instance's lifetime);
+        #: surfaced by :meth:`stats` so a long-lived holder (e.g. the
+        #: serve subsystem) reports live hit rates.
+        self.hit_count = 0
+        self.miss_count = 0
+        self.put_count = 0
 
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.pkl"
@@ -118,18 +139,23 @@ class ResultCache:
         """Return ``(hit, value)``; a corrupt entry counts as a miss."""
         path = self._path(key)
         if not path.is_file():
+            self.miss_count += 1
             return False, None
         try:
-            return True, pickle.loads(path.read_bytes())
+            value = pickle.loads(path.read_bytes())
         except Exception:  # corrupt/truncated entry: treat as miss
             try:
                 path.unlink()
             except OSError:
                 pass
+            self.miss_count += 1
             return False, None
+        self.hit_count += 1
+        return True, value
 
     def put(self, key: str, value: object) -> Path:
         """Store ``value`` under ``key`` (atomic rename within the dir)."""
+        self.put_count += 1
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
@@ -179,6 +205,9 @@ class ResultCache:
                                                             now - oldest),
             "newest_age_s": None if newest is None else max(0.0,
                                                             now - newest),
+            "hit_count": self.hit_count,
+            "miss_count": self.miss_count,
+            "put_count": self.put_count,
         }
 
     def prune(self, older_than_s: float, *,

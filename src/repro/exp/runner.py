@@ -331,17 +331,23 @@ def experiment_key(spec: ExperimentSpec, params: dict) -> str:
     })
 
 
-def run_experiment(name: str, params: dict | None = None, *,
-                   workers: int | None = None,
-                   seed: int | None = None,
-                   use_cache: bool = True,
-                   cache: ResultCache | None = None,
-                   cache_dir: str | None = None) -> ExperimentRun:
-    """Execute a registered experiment, going through the result cache.
+def resolve_run(name: str, params: dict | None = None, *,
+                workers: int | None = None, seed: int | None = None
+                ) -> tuple[ExperimentSpec, dict, dict, str]:
+    """Validate one experiment request and compute its cache key
+    without executing anything.
 
-    ``params`` are keyword overrides for the driver.  ``workers`` and
-    ``seed`` are forwarded only when the driver accepts them (``seed``
-    becomes part of the cache key; ``workers`` never does).
+    Returns ``(spec, key_params, call_params, key)``: the registry
+    spec, the parameters that define the cache key (``seed`` merged in
+    when the driver accepts it), the parameters to actually call the
+    driver with (``workers`` added when accepted), and the result-cache
+    key.  This is the shared front half of :func:`run_experiment`, so
+    anything that must agree with it on keys -- the serve subsystem's
+    cache-hit fast path, the artifact layer -- resolves through here.
+
+    Raises :class:`~repro.exp.registry.RegistryError` for unknown
+    names and :class:`ExperimentParamError` for parameters the driver
+    does not accept.
     """
     spec = get_experiment(name)
     params = dict(params or {})
@@ -357,12 +363,29 @@ def run_experiment(name: str, params: dict | None = None, *,
         else:
             warnings.warn(
                 f"experiment {spec.name!r} takes no seed; --seed ignored",
-                RuntimeWarning, stacklevel=2)
+                RuntimeWarning, stacklevel=3)
 
     call_params = dict(params)
     if workers is not None and "workers" in signature.parameters:
         call_params["workers"] = workers
-    return _through_cache(spec.name, experiment_key(spec, params), params,
+    return spec, params, call_params, experiment_key(spec, params)
+
+
+def run_experiment(name: str, params: dict | None = None, *,
+                   workers: int | None = None,
+                   seed: int | None = None,
+                   use_cache: bool = True,
+                   cache: ResultCache | None = None,
+                   cache_dir: str | None = None) -> ExperimentRun:
+    """Execute a registered experiment, going through the result cache.
+
+    ``params`` are keyword overrides for the driver.  ``workers`` and
+    ``seed`` are forwarded only when the driver accepts them (``seed``
+    becomes part of the cache key; ``workers`` never does).
+    """
+    spec, params, call_params, key = resolve_run(
+        name, params, workers=workers, seed=seed)
+    return _through_cache(spec.name, key, params,
                           lambda: spec.fn(**call_params),
                           use_cache=use_cache, cache=cache,
                           cache_dir=cache_dir)

@@ -53,6 +53,9 @@ class BenchConfig:
     #: No-op trials pushed through the shards backend for the
     #: dispatch-overhead metric.
     dispatch_points: int = 64
+    #: Cached-hit requests pushed through an in-process ``repro serve``
+    #: for the HTTP fast-path metric.
+    serve_requests: int = 300
     repeats: int = 3
     #: Include the full ``python -m repro report --no-cache`` subprocess
     #: wall measurement (skipped by ``--quick``).
@@ -61,7 +64,8 @@ class BenchConfig:
     @classmethod
     def quick(cls) -> "BenchConfig":
         return cls(engine_events=60_000, controller_requests=6_000,
-                   scenario_builds=50, dispatch_points=16, repeats=1,
+                   scenario_builds=50, dispatch_points=16,
+                   serve_requests=80, repeats=1,
                    full_report=False)
 
 
@@ -241,6 +245,55 @@ def _bench_backend_dispatch(n_points: int) -> float:
     return elapsed
 
 
+def _bench_serve(n_requests: int) -> tuple[float, float]:
+    """The server's cached-hit fast path: ``(best_latency_s, req/s)``.
+
+    Primes a throwaway result cache with the fig3 quick result, then
+    POSTs the identical submission ``n_requests`` times over one
+    keep-alive connection to an in-process server.  Every request must
+    come back 200/cached (a 202 would mean the hit path broke and the
+    numbers measure simulation, not serving).
+    """
+    import http.client
+    import shutil
+    import tempfile
+
+    from repro.exp.cache import ResultCache
+    from repro.exp.runner import run_experiment
+    from repro.serve.server import ServerThread
+
+    tmp = tempfile.mkdtemp(prefix="repro-bench-serve-")
+    try:
+        cache = ResultCache(tmp)
+        run_experiment("fig3", {"text": "MI", "pattern_bits": 8},
+                       cache=cache)
+        body = json.dumps(
+            {"params": {"text": "MI", "pattern_bits": 8}}).encode()
+        with ServerThread(cache=cache) as srv:
+            host, port = srv.address
+            conn = http.client.HTTPConnection(host, port, timeout=60)
+            try:
+                latencies = []
+                start = time.perf_counter()
+                for _ in range(n_requests):
+                    t0 = time.perf_counter()
+                    conn.request("POST", "/v1/experiments/fig3",
+                                 body=body)
+                    response = conn.getresponse()
+                    payload = response.read()
+                    latencies.append(time.perf_counter() - t0)
+                    if response.status != 200:  # pragma: no cover
+                        raise RuntimeError(
+                            f"serve bench got {response.status}: "
+                            f"{payload[:200]!r}")
+                total = time.perf_counter() - start
+            finally:
+                conn.close()
+        return min(latencies), n_requests / total
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
 def _bench_report_slice() -> float:
     """One quick-report slice (the fig3 PRAC message experiment), run
     in-process with the cache disabled."""
@@ -351,6 +404,13 @@ def _collect_metrics_inner(config, metrics, log):
         lambda: _bench_backend_dispatch(config.dispatch_points),
         config.repeats)
     metrics["backend_dispatch_overhead_seconds"] = round(min(times), 4)
+
+    log("serve: cached-hit HTTP fast path ...")
+    # One call, not best-of-N: the run streams n_requests through a
+    # single keep-alive connection and takes its own per-request best.
+    latency, rate = _bench_serve(config.serve_requests)
+    metrics["serve_cached_hit_latency_seconds"] = round(latency, 5)
+    metrics["serve_cached_requests_per_sec"] = round(rate)
 
     log("report slice: fig3 (no cache) ...")
     times = _best(_bench_report_slice, config.repeats)

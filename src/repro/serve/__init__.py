@@ -1,0 +1,36 @@
+"""Results-as-a-service: an async HTTP front-end over the result cache.
+
+The content-addressed result cache (:mod:`repro.exp.cache`) already
+makes every experiment and scenario result addressable by a stable
+key; this package puts a front door on it.  ``python -m repro serve``
+runs a stdlib-only asyncio HTTP/1.1 server that
+
+* answers **instantly from the cache** when the requested spec has
+  already been computed (the cache is the CDN),
+* **queues misses as jobs** onto the pluggable execution backends
+  (:mod:`repro.dist` -- serial / pool / the shards worker fleet is the
+  origin), deduplicating identical in-flight submissions,
+* **streams per-trial progress** over NDJSON or SSE by reusing the
+  sweep coordinator's existing progress callbacks, and
+* renders **artifacts** -- paper figures, stats tables, markdown, PNG
+  bar charts -- from cached results on demand
+  (:mod:`repro.serve.artifacts`).
+
+Layering::
+
+    server.py     asyncio loop, signal-driven graceful shutdown
+    http.py       minimal HTTP/1.1 parse/respond/stream primitives
+    app.py        routing + endpoint handlers (the REST surface)
+    jobs.py       job queue, in-flight dedup, progress event fan-out
+    artifacts.py  cached-result -> json/markdown/png rendering
+
+Everything is standard library only; the server shares one
+:class:`~repro.exp.cache.ResultCache` instance with its job runner so
+``/v1/cache/stats`` reports live hit counters.
+"""
+
+from repro.serve.app import ReproApp
+from repro.serve.jobs import JobManager
+from repro.serve.server import ServerThread, run_server
+
+__all__ = ["JobManager", "ReproApp", "ServerThread", "run_server"]

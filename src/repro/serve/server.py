@@ -1,0 +1,156 @@
+"""asyncio entrypoint of ``repro serve`` plus an in-process helper.
+
+:func:`run_server` owns the event loop: it binds, prints the
+``listening on http://host:port`` line (parsed by tests and the CI
+smoke job, so ``--port 0`` is usable), installs SIGINT/SIGTERM
+handlers, and on a signal drains in-flight jobs and shuts the worker
+fleet down before exiting ``128 + signum`` -- the conventional
+"terminated by signal N" code, and proof the teardown path ran rather
+than the process being killed.
+
+:class:`ServerThread` runs the same server on a background thread for
+tests and the benchmark harness: ``with ServerThread(cache=...) as
+srv: http.client.HTTPConnection(*srv.address)``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import functools
+import signal
+import sys
+import threading
+
+from repro.dist.base import shutdown_backends
+from repro.exp.cache import ResultCache
+from repro.serve.app import ReproApp
+from repro.serve.http import handle_connection
+
+
+async def _serve(app: ReproApp, host: str, port: int, stop: asyncio.Event,
+                 *, ready=None) -> None:
+    server = await asyncio.start_server(
+        functools.partial(handle_connection, app.handle), host, port)
+    bound = server.sockets[0].getsockname()[:2]
+    print(f"repro serve: listening on http://{bound[0]}:{bound[1]}",
+          file=sys.stderr, flush=True)
+    if ready is not None:
+        ready(bound)
+    async with server:
+        await stop.wait()
+        server.close()
+        await server.wait_closed()
+    # Lingering keep-alive connections (and event streams) die with
+    # the server; handle_connection treats cancellation as the client
+    # going away and closes its writer cleanly.
+    current = asyncio.current_task()
+    pending = [t for t in asyncio.all_tasks() if t is not current]
+    for task in pending:
+        task.cancel()
+    await asyncio.gather(*pending, return_exceptions=True)
+
+
+def run_server(host: str = "127.0.0.1", port: int = 8123, *,
+               backend: str | None = None, workers: int | None = None,
+               cache_dir: str | None = None,
+               drain_s: float = 10.0) -> int:
+    """Serve until SIGINT/SIGTERM; returns the process exit code.
+
+    The signal path is the graceful one: stop accepting connections,
+    drain the in-flight job for up to ``drain_s`` seconds
+    (:meth:`repro.serve.jobs.JobManager.shutdown`), tear the worker
+    fleet down (:func:`repro.dist.base.shutdown_backends` -- no
+    orphaned ``repro worker`` daemons), then exit ``128 + signum``.
+    """
+    app = ReproApp(cache=ResultCache(cache_dir), backend=backend,
+                   workers=workers)
+    loop = asyncio.new_event_loop()
+    stop = asyncio.Event()
+    caught: list[int] = []
+
+    def on_signal(signum: int) -> None:
+        caught.append(signum)
+        stop.set()
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, on_signal, signum)
+    try:
+        loop.run_until_complete(_serve(app, host, port, stop))
+    except KeyboardInterrupt:  # pragma: no cover - handler races the loop
+        caught.append(signal.SIGINT)
+    finally:
+        drained = app.jobs.shutdown(drain_s)
+        if not drained:
+            print("repro serve: job still in flight after drain timeout",
+                  file=sys.stderr, flush=True)
+        shutdown_backends()
+        with contextlib.suppress(Exception):
+            loop.run_until_complete(loop.shutdown_asyncgens())
+        loop.close()
+    if caught:
+        signum = caught[0]
+        name = signal.Signals(signum).name
+        print(f"repro serve: shut down on {name}", file=sys.stderr,
+              flush=True)
+        return 128 + signum
+    return 0
+
+
+class ServerThread:
+    """Run the server on a background thread (tests / benchmarks).
+
+    Binds an ephemeral port by default; :attr:`address` is the bound
+    ``(host, port)`` once the context manager has entered.  Exiting
+    stops the loop and drains the job runner, but deliberately does
+    *not* call :func:`shutdown_backends` -- the embedding process owns
+    its fleet.
+    """
+
+    def __init__(self, *, cache: ResultCache, backend: str | None = None,
+                 workers: int | None = None, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = ReproApp(cache=cache, backend=backend, workers=workers)
+        self._host = host
+        self._port = port
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self.address: tuple[str, int] | None = None
+
+    def _main(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._stop = asyncio.Event()
+
+        def ready(bound) -> None:
+            self.address = bound
+            self._ready.set()
+
+        try:
+            self._loop.run_until_complete(
+                _serve(self.app, self._host, self._port, self._stop,
+                       ready=ready))
+        finally:
+            self._ready.set()  # unblock __enter__ on bind failure
+            with contextlib.suppress(Exception):
+                self._loop.run_until_complete(
+                    self._loop.shutdown_asyncgens())
+            self._loop.close()
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._main, daemon=True,
+                                        name="repro-serve")
+        self._thread.start()
+        self._ready.wait(timeout=10.0)
+        if self.address is None:
+            raise RuntimeError("server failed to bind")
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+        self.app.jobs.shutdown(drain_s=10.0)

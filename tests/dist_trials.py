@@ -98,6 +98,13 @@ def crash_once(point):
     return point["v"] * point["v"]
 
 
+def sleepy(point):
+    """Sleep briefly then echo — keeps a sweep observably in flight
+    for the drain/orphan shutdown tests."""
+    time.sleep(point.get("s", 0.2))
+    return point.get("v", 0)
+
+
 def hang_once(point):
     """Sleep far past any test timeout the first time this point runs
     (the coordinator must kill + requeue); instant on the retry."""

@@ -44,6 +44,17 @@ class TestStats:
         assert stats["entries"] == 0
         assert stats["oldest_age_s"] is None
 
+    def test_hit_miss_put_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "ctr")
+        cache.get(KEY_A)            # miss
+        cache.put(KEY_A, {"v": 1})  # put
+        cache.get(KEY_A)            # hit
+        cache.get(KEY_B)            # miss
+        stats = cache.stats()
+        assert stats["hit_count"] == 1
+        assert stats["miss_count"] == 2
+        assert stats["put_count"] == 1
+
 
 class TestPrune:
     def test_prune_removes_only_old_entries(self, cache):
@@ -83,6 +94,21 @@ class TestCacheCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "entries" in out and "3" in out
+
+    def test_stats_json_is_the_stats_document(self, cache, capsys):
+        import json
+
+        rc = main(["cache", "stats", "--json", "--cache-dir",
+                   str(cache.directory)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        # The same dict ResultCache.stats() returns -- and therefore
+        # the same document the server's GET /v1/cache/stats serves.
+        assert doc["entries"] == 3
+        assert doc["directory"] == str(cache.directory)
+        assert doc["total_bytes"] > 0
+        for counter in ("hit_count", "miss_count", "put_count"):
+            assert counter in doc
 
     def test_prune_reports_what_it_freed(self, cache, capsys):
         _age_entry(cache, KEY_A, 8 * 86400)

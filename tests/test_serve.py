@@ -1,0 +1,414 @@
+"""Tests for the results-as-a-service HTTP layer (``repro serve``).
+
+The server runs in-process on a background thread
+(:class:`repro.serve.server.ServerThread`) against a per-test result
+cache; requests go over real TCP via ``http.client``, so the full
+asyncio HTTP/1.1 stack is exercised.  Synthetic experiments registered
+by this module keep the jobs cheap and controllable (a gate event for
+in-flight dedup, a sweep for progress events).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+import dist_trials
+from repro.dist import register_backend, unregister_backend
+from repro.dist.base import Backend
+from repro.exp.cache import ResultCache, canonical_checksum
+from repro.exp.registry import _REGISTRY, ExperimentSpec, register
+from repro.exp.runner import map_trials, run_experiment, trials_executed
+from repro.serve.server import ServerThread
+
+# ----------------------------------------------------------------------
+# Synthetic experiments
+# ----------------------------------------------------------------------
+_GATE = threading.Event()
+
+
+def _sweep_driver(n: int = 4, offset: int = 0):
+    """A deterministic multi-trial sweep (progress events, checksums)."""
+    return {"squares": map_trials(dist_trials.square,
+                                  [offset + i for i in range(n)]),
+            "n": n}
+
+
+def _gated_driver(n: int = 3):
+    """Blocks until the test releases ``_GATE`` (in-flight dedup)."""
+    assert _GATE.wait(timeout=30), "test never released the gate"
+    return {"squares": map_trials(dist_trials.square, list(range(n)))}
+
+
+_SPECS = (
+    ExperimentSpec(name="srv-sweep", fn=_sweep_driver, figure="-",
+                   claim="serve-test sweep"),
+    ExperimentSpec(name="srv-gated", fn=_gated_driver, figure="-",
+                   claim="serve-test gated sweep"),
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _synthetic_experiments():
+    for spec in _SPECS:
+        register(spec)
+    yield
+    for spec in _SPECS:
+        _REGISTRY.pop(spec.name, None)
+
+
+# ----------------------------------------------------------------------
+# Server + HTTP helpers
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "serve-cache")
+
+
+@pytest.fixture()
+def server(cache):
+    _GATE.clear()
+    with ServerThread(cache=cache) as srv:
+        yield srv
+        _GATE.set()  # never leave the runner thread blocked
+
+
+def _request(srv, method: str, path: str, body=None):
+    host, port = srv.address
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        payload = (json.dumps(body).encode()
+                   if isinstance(body, dict) else body)
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        raw = response.read()
+        ctype = response.getheader("Content-Type", "")
+        doc = json.loads(raw) if ctype.startswith("application/json") else raw
+        return response.status, doc
+    finally:
+        conn.close()
+
+
+def _wait_done(srv, job_id: str, timeout: float = 60.0) -> dict:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status, doc = _request(srv, "GET", f"/v1/jobs/{job_id}")
+        assert status == 200
+        if doc["state"] in ("done", "failed"):
+            return doc
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never finished")
+
+
+def _stream_events(srv, job_id: str, query: str = ""):
+    """Collect the NDJSON event stream until the terminal event."""
+    host, port = srv.address
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("GET", f"/v1/jobs/{job_id}/events{query}")
+        response = conn.getresponse()
+        events = []
+        while True:
+            line = response.fp.readline()
+            if not line:
+                break
+            line = line.strip()
+            if not line or line == b":":
+                continue
+            if line.startswith(b"data: "):
+                line = line[len(b"data: "):]
+            events.append(json.loads(line))
+            if events[-1]["event"] in ("done", "failed"):
+                break
+        return response.getheader("Content-Type"), events
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Plumbing endpoints
+# ----------------------------------------------------------------------
+class TestPlumbing:
+    def test_healthz(self, server):
+        status, doc = _request(server, "GET", "/healthz")
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert doc["jobs"] == {"queued": 0, "running": 0,
+                               "done": 0, "failed": 0}
+
+    def test_cache_stats_is_the_cli_document(self, server, cache):
+        cache.put("ab" + "0" * 62, {"v": 1})
+        status, doc = _request(server, "GET", "/v1/cache/stats")
+        assert status == 200
+        # Same shape and content as ResultCache.stats() == the CLI's
+        # `repro cache stats --json` (one code path, two transports).
+        local = cache.stats()
+        assert doc["entries"] == local["entries"] == 1
+        assert doc["directory"] == local["directory"]
+        for counter in ("hit_count", "miss_count", "put_count"):
+            assert counter in doc
+
+    def test_catalog_lists_registered_experiments(self, server):
+        status, doc = _request(server, "GET", "/v1/experiments")
+        assert status == 200
+        names = [e["name"] for e in doc["experiments"]]
+        assert "fig3" in names
+
+    def test_unrouted_path_is_404(self, server):
+        status, doc = _request(server, "GET", "/nope")
+        assert status == 404 and "no route" in doc["error"]
+
+    def test_wrong_method_is_405(self, server):
+        status, doc = _request(server, "DELETE", "/v1/experiments")
+        assert status == 405
+
+
+# ----------------------------------------------------------------------
+# Validation: malformed input is a 4xx document, never a traceback
+# ----------------------------------------------------------------------
+class TestValidation:
+    def test_unknown_experiment_404(self, server):
+        status, doc = _request(server, "POST", "/v1/experiments/zzz",
+                               body={})
+        assert status == 404
+        assert "unknown experiment" in doc["error"]
+
+    def test_unknown_param_400(self, server):
+        status, doc = _request(server, "POST", "/v1/experiments/srv-sweep",
+                               body={"params": {"bogus": 1}})
+        assert status == 400
+        assert "does not accept" in doc["error"]
+
+    def test_malformed_scenario_is_a_validation_message(self, server):
+        status, doc = _request(server, "POST", "/v1/scenarios",
+                               body={"agents": [{"kind": "no-such-kind"}]})
+        assert status == 400
+        assert "invalid scenario spec" in doc["error"]
+        assert "Traceback" not in doc["error"]
+
+    def test_non_object_scenario_400(self, server):
+        status, doc = _request(server, "POST", "/v1/scenarios",
+                               body=b"[1, 2, 3]")
+        assert status == 400
+
+    def test_bad_json_body_400(self, server):
+        status, doc = _request(server, "POST", "/v1/experiments/srv-sweep",
+                               body=b"{not json")
+        assert status == 400
+        assert "not valid JSON" in doc["error"]
+
+    def test_malformed_request_line_400(self, server):
+        host, port = server.address
+        import socket
+
+        with socket.create_connection((host, port), timeout=10) as sock:
+            sock.sendall(b"GARBAGE\r\n\r\n")
+            reply = sock.recv(4096)
+        assert b"400" in reply.split(b"\r\n", 1)[0]
+
+
+# ----------------------------------------------------------------------
+# The cache-or-job decision
+# ----------------------------------------------------------------------
+class _SpyBackend(Backend):
+    """Counts dispatches; delegates nothing (serial work happens via
+    the in-process map_trials fallback only if actually dispatched)."""
+
+    name = "spy-serve"
+    calls = 0
+
+    def run(self, fn, points, seeds, *, workers=None, on_result=None):
+        type(self).calls += 1
+        out = []
+        for i, (point, seed) in enumerate(zip(points, seeds)):
+            value = fn(point) if seed is None else fn(point, seed)
+            if on_result is not None:
+                on_result(i, value)
+            out.append(value)
+        return out
+
+
+class TestCacheOrJob:
+    def test_hit_answers_inline_and_never_touches_a_backend(
+            self, cache, tmp_path):
+        _SpyBackend.calls = 0
+        register_backend("spy-serve", _SpyBackend)
+        try:
+            # Prime through the exact code path the server uses.
+            direct = run_experiment("srv-sweep", {"n": 3}, cache=cache)
+            assert not direct.cached
+            with ServerThread(cache=cache, backend="spy-serve") as srv:
+                before = trials_executed()
+                status, doc = _request(srv, "POST",
+                                       "/v1/experiments/srv-sweep",
+                                       body={"params": {"n": 3}})
+                assert status == 200
+                assert doc["cached"] is True
+                assert doc["key"] == direct.key
+                assert doc["checksum"] == canonical_checksum(direct.value)
+                # No job was created, no trial ran, no dispatch happened.
+                assert trials_executed() == before
+                assert _SpyBackend.calls == 0
+                _status, health = _request(srv, "GET", "/healthz")
+                assert health["jobs"]["done"] == 0
+                assert health["jobs"]["queued"] == 0
+        finally:
+            unregister_backend("spy-serve")
+
+    def test_miss_runs_through_the_backend_and_matches_direct(
+            self, cache, tmp_path):
+        _SpyBackend.calls = 0
+        register_backend("spy-serve", _SpyBackend)
+        try:
+            with ServerThread(cache=cache, backend="spy-serve") as srv:
+                status, doc = _request(srv, "POST",
+                                       "/v1/experiments/srv-sweep",
+                                       body={"params": {"n": 4,
+                                                        "offset": 10}})
+                assert status == 202 and doc["cached"] is False
+                final = _wait_done(srv, doc["job"])
+                assert final["state"] == "done"
+                assert _SpyBackend.calls >= 1
+                # Byte-identical to a direct cache-less run.
+                other = ResultCache(tmp_path / "other")
+                direct = run_experiment("srv-sweep",
+                                        {"n": 4, "offset": 10},
+                                        cache=other)
+                assert final["checksum"] == canonical_checksum(direct.value)
+                # Resubmission is now the instant cache-hit path.
+                status, again = _request(srv, "POST",
+                                         "/v1/experiments/srv-sweep",
+                                         body={"params": {"n": 4,
+                                                          "offset": 10}})
+                assert status == 200 and again["cached"] is True
+                assert again["checksum"] == final["checksum"]
+        finally:
+            unregister_backend("spy-serve")
+
+    def test_default_params_and_explicit_defaults_share_a_key(
+            self, server):
+        status1, doc1 = _request(server, "POST",
+                                 "/v1/experiments/srv-sweep", body={})
+        final1 = _wait_done(server, doc1["job"])
+        status2, doc2 = _request(server, "POST",
+                                 "/v1/experiments/srv-sweep",
+                                 body={"params": {"n": 4, "offset": 0}})
+        assert status2 == 200 and doc2["cached"] is True
+        assert doc2["key"] == doc1["key"]
+        assert doc2["checksum"] == final1["checksum"]
+
+    def test_scenario_submission_round_trips(self, server):
+        from repro.scenario import get_preset
+
+        spec_doc = get_preset("prac-probe").to_dict()
+        spec_doc["agents"][0]["params"]["max_samples"] = 16
+        status, doc = _request(server, "POST", "/v1/scenarios",
+                               body=spec_doc)
+        assert status == 202 and doc["kind"] == "scenario"
+        final = _wait_done(server, doc["job"])
+        assert final["state"] == "done"
+        status, results = _request(server, "GET",
+                                   f"/v1/results/{doc['key']}")
+        assert status == 200
+        assert results["checksum"] == final["checksum"]
+        # Identical resubmission hits the cache.
+        status, again = _request(server, "POST", "/v1/scenarios",
+                                 body=spec_doc)
+        assert status == 200 and again["cached"] is True
+
+
+# ----------------------------------------------------------------------
+# Dedup + event streams
+# ----------------------------------------------------------------------
+class TestJobs:
+    def test_concurrent_identical_submissions_share_one_job(self, server):
+        _GATE.clear()
+        body = {"params": {"n": 3}}
+        status1, doc1 = _request(server, "POST",
+                                 "/v1/experiments/srv-gated", body=body)
+        status2, doc2 = _request(server, "POST",
+                                 "/v1/experiments/srv-gated", body=body)
+        assert status1 == status2 == 202
+        assert doc1["job"] == doc2["job"]
+        assert doc1["deduplicated"] is False
+        assert doc2["deduplicated"] is True
+        _GATE.set()
+        final = _wait_done(server, doc1["job"])
+        assert final["state"] == "done"
+        # After landing, the same submission is a cache hit, not a job.
+        status3, doc3 = _request(server, "POST",
+                                 "/v1/experiments/srv-gated", body=body)
+        assert status3 == 200 and doc3["cached"] is True
+
+    def test_event_stream_carries_progress_to_terminal(self, server):
+        status, doc = _request(server, "POST",
+                               "/v1/experiments/srv-sweep",
+                               body={"params": {"n": 5, "offset": 100}})
+        assert status == 202
+        ctype, events = _stream_events(server, doc["job"])
+        assert ctype == "application/x-ndjson"
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "queued" and kinds[-1] == "done"
+        progress = [e for e in events if e["event"] == "progress"]
+        assert progress, "a multi-trial job must stream progress"
+        assert progress[-1]["done"] == progress[-1]["total"] == 5
+        assert events[-1]["checksum"]
+
+    def test_event_stream_replays_history_after_terminal(self, server):
+        status, doc = _request(server, "POST",
+                               "/v1/experiments/srv-sweep",
+                               body={"params": {"n": 2, "offset": 7}})
+        _wait_done(server, doc["job"])
+        ctype, events = _stream_events(server, doc["job"])
+        assert [e["event"] for e in events][-1] == "done"
+
+    def test_sse_format(self, server):
+        status, doc = _request(server, "POST",
+                               "/v1/experiments/srv-sweep",
+                               body={"params": {"n": 2, "offset": 8}})
+        _wait_done(server, doc["job"])
+        ctype, events = _stream_events(server, doc["job"],
+                                       query="?format=sse")
+        assert ctype == "text/event-stream"
+        assert events[-1]["event"] == "done"
+
+    def test_failed_job_reports_the_error(self, server):
+        status, doc = _request(server, "POST", "/v1/experiments/fig4",
+                               body={"params": {"intensities": [0],
+                                                "n_bits": 4}})
+        assert status == 202
+        final = _wait_done(server, doc["job"])
+        assert final["state"] == "failed"
+        assert "intensity" in final["error"]
+
+    def test_unknown_job_404(self, server):
+        status, doc = _request(server, "GET", "/v1/jobs/feedbeef0000")
+        assert status == 404
+
+    def test_unknown_result_404(self, server):
+        status, doc = _request(server, "GET", "/v1/results/" + "0" * 64)
+        assert status == 404
+
+
+# ----------------------------------------------------------------------
+# Thread-locality of the execution context
+# ----------------------------------------------------------------------
+class TestContextIsolation:
+    def test_execution_context_does_not_leak_across_threads(self):
+        from repro.dist import current_execution, execution
+
+        seen = {}
+
+        def probe():
+            seen["backend"] = current_execution().backend
+
+        with execution(backend="serial"):
+            thread = threading.Thread(target=probe)
+            thread.start()
+            thread.join()
+            assert current_execution().backend == "serial"
+        assert seen["backend"] is None

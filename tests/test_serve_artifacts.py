@@ -1,0 +1,246 @@
+"""Tests for the artifact layer: json/md/png rendering, the HTTP
+artifact endpoints, and the ``repro artifacts`` CLI."""
+
+from __future__ import annotations
+
+import http.client
+import json
+import struct
+import zlib
+
+import pytest
+
+import dist_trials
+from repro.__main__ import main
+from repro.analysis.figures import FigureTable
+from repro.exp.cache import ResultCache, canonical_checksum
+from repro.exp.registry import _REGISTRY, ExperimentSpec, register
+from repro.exp.runner import map_trials, run_experiment
+from repro.serve.artifacts import (
+    ArtifactError,
+    artifact_doc,
+    encode_png,
+    render_artifact,
+    render_markdown,
+    render_png,
+)
+from repro.serve.server import ServerThread
+
+
+def _table_driver(n: int = 3):
+    table = FigureTable("Artifact test table", ["label", "value"])
+    squares = map_trials(dist_trials.square, list(range(n)))
+    for i, sq in enumerate(squares):
+        table.add_row(f"row{i}", float(sq))
+    table.add_note("synthetic")
+    return {"table": table, "raw": squares}
+
+
+def _bare_driver(x: int = 1):
+    return {"just": "data", "x": x}
+
+
+_SPECS = (
+    ExperimentSpec(name="art-table", fn=_table_driver, figure="-",
+                   claim="artifact-test table",
+                   quick={"n": 2}),
+    ExperimentSpec(name="art-bare", fn=_bare_driver, figure="-",
+                   claim="artifact-test tableless"),
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _synthetic_experiments():
+    for spec in _SPECS:
+        register(spec)
+    yield
+    for spec in _SPECS:
+        _REGISTRY.pop(spec.name, None)
+
+
+@pytest.fixture()
+def cache(tmp_path) -> ResultCache:
+    return ResultCache(tmp_path / "art-cache")
+
+
+def _png_header(data: bytes) -> tuple[int, int]:
+    assert data[:8] == b"\x89PNG\r\n\x1a\n"
+    length, tag = struct.unpack(">I4s", data[8:16])
+    assert tag == b"IHDR" and length == 13
+    width, height = struct.unpack(">II", data[16:24])
+    return width, height
+
+
+# ----------------------------------------------------------------------
+# Pure rendering
+# ----------------------------------------------------------------------
+class TestRendering:
+    def test_json_doc_carries_provenance_and_tables(self, cache):
+        run = run_experiment("art-table", {"n": 3}, cache=cache)
+        doc = artifact_doc(run.name, run.params, run.key, run.value)
+        assert doc["experiment"] == "art-table"
+        assert doc["key"] == run.key
+        assert doc["checksum"] == canonical_checksum(run.value)
+        assert doc["tables"][0]["columns"] == ["label", "value"]
+        assert len(doc["tables"][0]["rows"]) == 3
+        json.dumps(doc)  # must be JSON-clean end to end
+
+    def test_markdown_renders_gfm_tables(self, cache):
+        run = run_experiment("art-table", {"n": 3}, cache=cache)
+        text = render_markdown(run.name, run.params, run.key, run.value)
+        assert "### Artifact test table" in text
+        assert "| label | value |" in text
+        assert "> note: synthetic" in text
+        assert run.key in text
+
+    def test_markdown_without_tables_falls_back_to_json(self, cache):
+        run = run_experiment("art-bare", cache=cache)
+        text = render_markdown(run.name, run.params, run.key, run.value)
+        assert "```json" in text and '"just"' in text
+
+    def test_png_is_well_formed(self, cache):
+        run = run_experiment("art-table", {"n": 3}, cache=cache)
+        data = render_png(run.name, run.value)
+        width, height = _png_header(data)
+        assert width == 480 and height > 0
+        assert data.endswith(
+            b"IEND" + struct.pack(">I", zlib.crc32(b"IEND")))
+        assert b"tEXt" in data and b"Artifact test table" in data
+
+    def test_png_scanlines_round_trip(self):
+        rows = [bytes([255, 0, 0] * 4), bytes([0, 255, 0] * 4)]
+        data = encode_png(4, 2, rows)
+        start = data.index(b"IDAT") + 4
+        length = struct.unpack(">I", data[start - 8:start - 4])[0]
+        raw = zlib.decompress(data[start:start + length])
+        assert raw == b"\x00" + rows[0] + b"\x00" + rows[1]
+
+    def test_png_of_tableless_result_is_an_error(self, cache):
+        run = run_experiment("art-bare", cache=cache)
+        with pytest.raises(ArtifactError, match="no figure table"):
+            render_png(run.name, run.value)
+
+    def test_unknown_format_is_an_error(self, cache):
+        run = run_experiment("art-bare", cache=cache)
+        with pytest.raises(ArtifactError, match="unknown artifact"):
+            render_artifact(run.name, run.params, run.key, run.value,
+                            "pdf")
+
+
+# ----------------------------------------------------------------------
+# HTTP endpoints
+# ----------------------------------------------------------------------
+def _get(srv, path: str):
+    host, port = srv.address
+    conn = http.client.HTTPConnection(host, port, timeout=60)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return (response.status, response.getheader("Content-Type"),
+                response.read())
+    finally:
+        conn.close()
+
+
+class TestEndpoints:
+    def test_artifacts_render_cached_results(self, cache):
+        run = run_experiment("art-table", {"n": 3}, cache=cache)
+        with ServerThread(cache=cache) as srv:
+            status, ctype, body = _get(srv, "/v1/artifacts/art-table.json")
+            assert status == 200 and ctype == "application/json"
+            doc = json.loads(body)
+            assert doc["checksum"] == canonical_checksum(run.value)
+
+            status, ctype, body = _get(srv, "/v1/artifacts/art-table.md")
+            assert status == 200 and ctype.startswith("text/markdown")
+            assert b"| label | value |" in body
+
+            status, ctype, body = _get(srv, "/v1/artifacts/art-table.png")
+            assert status == 200 and ctype == "image/png"
+            _png_header(body)
+
+    def test_uncached_artifact_is_404_with_a_hint(self, cache):
+        with ServerThread(cache=cache) as srv:
+            status, _ctype, body = _get(
+                srv, "/v1/artifacts/art-table.json?n=7")
+            assert status == 404
+            assert b"POST /v1/experiments/art-table first" in body
+
+    def test_param_query_selects_the_result(self, cache):
+        run_experiment("art-table", {"n": 2}, cache=cache)
+        with ServerThread(cache=cache) as srv:
+            status, _ctype, body = _get(srv,
+                                        "/v1/artifacts/art-table.json?n=2")
+            assert status == 200
+            assert len(json.loads(body)["tables"][0]["rows"]) == 2
+            # quick=1 resolves the registered quick params ({"n": 2}).
+            status, _ctype, body = _get(
+                srv, "/v1/artifacts/art-table.json?quick=1")
+            assert status == 200
+
+    def test_bad_format_and_unknown_name(self, cache):
+        with ServerThread(cache=cache) as srv:
+            status, _ctype, body = _get(srv, "/v1/artifacts/art-table.pdf")
+            assert status == 404  # not cached yet wins; prime then 400
+            run_experiment("art-table", cache=cache)
+            status, _ctype, body = _get(srv, "/v1/artifacts/art-table.pdf")
+            assert status == 400 and b"unknown artifact format" in body
+            status, _ctype, body = _get(srv, "/v1/artifacts/zzz.json")
+            assert status == 404 and b"unknown experiment" in body
+            status, _ctype, body = _get(srv, "/v1/artifacts/noformat")
+            assert status == 400
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_artifacts_writes_all_formats(self, cache, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        rc = main(["artifacts", "art-table", "-p", "n=3",
+                   "--out-dir", str(out),
+                   "--cache-dir", str(cache.directory)])
+        assert rc == 0
+        assert (out / "art-table.json").exists()
+        assert (out / "art-table.md").exists()
+        assert (out / "art-table.png").exists()
+        _png_header((out / "art-table.png").read_bytes())
+        doc = json.loads((out / "art-table.json").read_text())
+        run = run_experiment("art-table", {"n": 3}, cache=cache)
+        assert run.cached  # the CLI primed the shared cache
+        assert doc["checksum"] == canonical_checksum(run.value)
+
+    def test_markdown_to_stdout(self, cache, capsys):
+        rc = main(["artifacts", "art-table", "--format", "md",
+                   "--out-dir", "-",
+                   "--cache-dir", str(cache.directory)])
+        assert rc == 0
+        assert "### Artifact test table" in capsys.readouterr().out
+
+    def test_all_skips_unchartable_results(self, cache, tmp_path, capsys):
+        out = tmp_path / "bare"
+        rc = main(["artifacts", "art-bare", "--out-dir", str(out),
+                   "--cache-dir", str(cache.directory)])
+        assert rc == 0
+        assert (out / "art-bare.json").exists()
+        assert not (out / "art-bare.png").exists()
+        assert "skipping .png" in capsys.readouterr().err
+
+    def test_explicit_png_of_tableless_result_fails(self, cache,
+                                                    tmp_path, capsys):
+        rc = main(["artifacts", "art-bare", "--format", "png",
+                   "--out-dir", str(tmp_path),
+                   "--cache-dir", str(cache.directory)])
+        assert rc == 2
+
+    def test_unknown_experiment_fails_cleanly(self, cache, capsys):
+        rc = main(["artifacts", "zzz",
+                   "--cache-dir", str(cache.directory)])
+        assert rc == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_stdout_png_is_rejected(self, cache, capsys):
+        rc = main(["artifacts", "art-table", "--format", "png",
+                   "--out-dir", "-",
+                   "--cache-dir", str(cache.directory)])
+        assert rc == 2
