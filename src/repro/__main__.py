@@ -15,6 +15,10 @@ Subcommands::
     python -m repro serve --port 8123     # results-as-a-service HTTP API
     python -m repro artifacts fig3 --format md
     python -m repro worker                # sweep-worker daemon (internal)
+    python -m repro worker --connect HOST:PORT --reconnect
+                                          # dial into a TCP fleet
+    python -m repro fleet listen --port 7641   # stand up a fleet hub
+    python -m repro fleet status --connect HOST:PORT
 
 ``run`` and ``scenario run`` go through the on-disk result cache
 (``.repro-cache/`` or ``$REPRO_CACHE_DIR``); ``--no-cache`` forces a
@@ -488,7 +492,120 @@ def cmd_cache(args) -> int:
 def cmd_worker(args) -> int:
     from repro.dist.worker import main as worker_main
 
-    return worker_main(["--no-warm"] if args.no_warm else [])
+    argv = []
+    if args.no_warm:
+        argv.append("--no-warm")
+    if args.connect:
+        argv.extend(["--connect", args.connect,
+                     "--retry", str(args.retry)])
+        if args.reconnect:
+            argv.append("--reconnect")
+    return worker_main(argv)
+
+
+# ----------------------------------------------------------------------
+# Fleet subcommands
+# ----------------------------------------------------------------------
+def _fleet_secret() -> str | None:
+    from repro.dist.shards import SECRET_ENV
+
+    return os.environ.get(SECRET_ENV) or None
+
+
+def cmd_fleet_listen(args) -> int:
+    """A standalone fleet hub: accept + authenticate workers and print
+    join/refusal events — the connectivity check an operator runs while
+    bringing hosts up, before pointing a sweep at the same port."""
+    import queue
+    import time as time_mod
+
+    from repro.dist.net import FleetServer
+    from repro.exp.cache import code_fingerprint
+
+    secret = _fleet_secret()
+    if not secret:
+        from repro.dist.shards import SECRET_ENV
+
+        print(f"error: fleet listen requires the shared secret in "
+              f"{SECRET_ENV} (never passed on the command line)",
+              file=sys.stderr)
+        return 2
+
+    def on_event(kind: str, detail: str) -> None:
+        print(f"[fleet] {kind}: {detail}", flush=True)
+
+    outq: queue.Queue = queue.Queue()
+    fleet: list = []
+    try:
+        server = FleetServer(args.host, args.port, secret=secret,
+                             fingerprint=code_fingerprint(),
+                             fleet=fleet, outq=outq, on_event=on_event)
+    except OSError as exc:
+        print(f"error: cannot listen on {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"[fleet] fingerprint: {code_fingerprint()[:12]}  "
+          f"(workers must match; Ctrl-C to stop)", flush=True)
+    try:
+        while True:
+            # Joins/refusals print from the server threads; this loop
+            # only prunes dead connections so the count stays honest.
+            time_mod.sleep(1.0)
+            fleet[:] = [s for s in fleet if s.alive]
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+        for shard in fleet:
+            shard.shutdown()
+    return 0
+
+
+def cmd_fleet_status(args) -> int:
+    from repro.dist.net import parse_hostport, query_status
+    from repro.dist.protocol import HandshakeError
+
+    secret = _fleet_secret()
+    if not secret:
+        from repro.dist.shards import SECRET_ENV
+
+        print(f"error: fleet status requires the shared secret in "
+              f"{SECRET_ENV}", file=sys.stderr)
+        return 2
+    try:
+        host, port = parse_hostport(args.connect)
+        doc = query_status(host, port, secret=secret)
+    except (ValueError, HandshakeError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+        return 0
+    fingerprint = str(doc.get("fingerprint", ""))
+    print(f"fleet at {doc.get('listen')}  "
+          f"(protocol v{doc.get('protocol_version')}, "
+          f"fingerprint {fingerprint[:12]})")
+    refused = doc.get("refused_count", 0)
+    if refused:
+        print(f"refused connections: {refused} "
+              f"(last: {doc.get('last_refusal')})")
+    workers = doc.get("workers", [])
+    if not workers:
+        print("no workers connected")
+        return 0
+    table = FigureTable(
+        f"Connected workers ({len(workers)})",
+        ["id", "transport", "version", "fingerprint", "in-flight",
+         "state"])
+    for worker in workers:
+        state = ("ready" if worker.get("ready") else "handshaking"
+                 ) if worker.get("alive") else "dead"
+        table.add_row(worker.get("id"), worker.get("transport"),
+                      worker.get("version"),
+                      str(worker.get("fingerprint"))[:12],
+                      worker.get("in_flight"), state)
+    print(table.to_text())
+    return 0
 
 
 # ----------------------------------------------------------------------
@@ -832,12 +949,49 @@ def build_parser() -> argparse.ArgumentParser:
     p_artifacts.set_defaults(func=cmd_artifacts)
 
     p_worker = sub.add_parser(
-        "worker", help="sweep-worker daemon: reads NDJSON task frames "
-                       "on stdin, writes result frames on stdout "
-                       "(spawned by the shards backend; see repro.dist)")
+        "worker", help="sweep-worker daemon: executes NDJSON task "
+                       "frames over stdin/stdout (spawned by the "
+                       "shards backend) or a TCP fleet connection "
+                       "(--connect HOST:PORT)")
     p_worker.add_argument("--no-warm", action="store_true",
                           help="skip preloading the simulator modules")
+    p_worker.add_argument("--connect", metavar="HOST:PORT", default=None,
+                          help="dial into a fleet coordinator instead "
+                               "of serving stdin (shared secret read "
+                               "from REPRO_FLEET_SECRET)")
+    p_worker.add_argument("--reconnect", action="store_true",
+                          help="with --connect: redial after a session "
+                               "ends (standing fleet member)")
+    p_worker.add_argument("--retry", type=float, default=60.0,
+                          metavar="SECONDS",
+                          help="with --connect: retry the initial "
+                               "connection this long (default: 60)")
     p_worker.set_defaults(func=cmd_worker)
+
+    p_fleet = sub.add_parser(
+        "fleet", help="TCP worker-fleet tools: stand up a listener and "
+                      "inspect connected workers")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command",
+                                       required=True)
+    f_listen = fleet_sub.add_parser(
+        "listen", help="accept + authenticate workers and print "
+                       "join/refusal events (secret from "
+                       "REPRO_FLEET_SECRET)")
+    f_listen.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default: 127.0.0.1; use "
+                               "0.0.0.0 for cross-machine workers)")
+    f_listen.add_argument("--port", type=int, required=True,
+                          help="TCP port to listen on")
+    f_listen.set_defaults(func=cmd_fleet_listen)
+    f_status = fleet_sub.add_parser(
+        "status", help="query a fleet coordinator for its connected "
+                       "workers, versions, and in-flight depth")
+    f_status.add_argument("--connect", metavar="HOST:PORT",
+                          required=True,
+                          help="coordinator address to query")
+    f_status.add_argument("--json", action="store_true",
+                          help="print the raw status document")
+    f_status.set_defaults(func=cmd_fleet_status)
     return parser
 
 

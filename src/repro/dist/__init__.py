@@ -44,6 +44,7 @@ from repro.dist.context import (
     current_execution,
     execution,
 )
+from repro.dist.protocol import HandshakeError
 
 __all__ = [
     "AUTO",
@@ -52,6 +53,7 @@ __all__ = [
     "BackendError",
     "BackendUnavailable",
     "ExecutionContext",
+    "HandshakeError",
     "IN_WORKER_ENV",
     "backend_names",
     "check_backend_name",

@@ -1,0 +1,432 @@
+"""TCP transport for the shards fleet (cross-machine workers).
+
+The stdio shards backend spawns its workers; this module lets workers
+*dial in* instead: the coordinator opens a :class:`FleetServer` on a
+TCP port, and every ``python -m repro worker --connect HOST:PORT``
+that passes the handshake becomes a :class:`RemoteShard` — the same
+NDJSON frame protocol, the same coordinator loop, the same
+crash-requeue/timeout/retry semantics as a locally spawned worker.
+The only transport-visible differences: a timeout kill drops the
+connection instead of signaling a child process, and EOF means "the
+socket closed" rather than "the child exited".
+
+Connection lifecycle (server side)::
+
+    accept -> challenge {nonce} -> read hello -> validate
+       ok     -> welcome {auth}; RemoteShard joins the fleet
+       refuse -> refused {error naming the mismatch}; close
+
+The handshake (see :mod:`repro.dist.protocol`) authenticates **both**
+directions with HMAC proofs of a shared secret over fresh nonces —
+the secret never crosses the wire — and pins the worker's protocol
+version and source-tree fingerprint to the coordinator's.  Until a
+peer is authenticated, nothing it sends is pickle-decoded: the
+handshake frames are plain JSON, and a connection is dropped at the
+first invalid frame.
+
+A ``status`` client (``repro fleet status``) speaks the same
+challenge/auth opening with a ``status`` role digest and receives one
+JSON document describing the fleet (workers, versions, fingerprints,
+in-flight depth) before the connection closes.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+
+from repro.dist.protocol import (
+    HandshakeError,
+    PROTOCOL_VERSION,
+    auth_digest,
+    challenge_frame,
+    dump_frame,
+    hello_frame,
+    new_nonce,
+    parse_frame,
+    validate_hello,
+)
+
+#: Seconds an accepted connection gets to complete the handshake.
+HANDSHAKE_TIMEOUT = 10.0
+
+#: Delay between connection attempts while a worker waits for its
+#: coordinator to come up (or back up, in ``--reconnect`` mode).
+RETRY_DELAY = 0.5
+
+
+def parse_hostport(text: str, *, default_host: str = "127.0.0.1"
+                   ) -> tuple[str, int]:
+    """``"host:port"`` / ``":port"`` / ``"port"`` -> ``(host, port)``."""
+    text = text.strip()
+    host, sep, port_text = text.rpartition(":")
+    if not sep:
+        host, port_text = "", text
+    host = host or default_host
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(
+            f"bad address {text!r}: expected HOST:PORT or PORT") from None
+    if not 0 <= port < 65536:
+        raise ValueError(f"bad port {port} in {text!r}")
+    return host, port
+
+
+def _frame_files(sock: socket.socket):
+    """(reader, writer) text files over ``sock`` for NDJSON frames.
+
+    The writer is line-buffered to match the stdio transport's
+    protocol stream: every frame ends in a newline, so each write
+    flushes — the worker's task loop counts on that."""
+    rfile = sock.makefile("r", encoding="utf-8", newline="\n")
+    wfile = sock.makefile("w", encoding="utf-8", newline="\n")
+    # makefile() silently ignores buffering=1 for sockets, so ask the
+    # text layer directly: flush whenever a write contains a newline.
+    wfile.reconfigure(line_buffering=True)
+    return rfile, wfile
+
+
+class RemoteShard:
+    """A dialed-in worker: the fleet-side handle of one TCP connection.
+
+    Implements the same surface the coordinator uses on a local
+    ``_Shard`` (``send``/``send_many``/``kill``/``shutdown``/``alive``/
+    ``depth``/``ready``), so :meth:`repro.dist.shards.ShardsBackend.run`
+    treats both identically.  Born ``ready``: the server validated the
+    hello before constructing it.
+    """
+
+    remote = True
+
+    def __init__(self, sock: socket.socket, rfile, wfile,
+                 addr: tuple, hello: dict, outq: queue.Queue) -> None:
+        self._sock = sock
+        self._rfile = rfile
+        self._wfile = wfile
+        self._dead = False
+        self._lock = threading.Lock()
+        self.addr = f"{addr[0]}:{addr[1]}"
+        self.pid = hello.get("pid")
+        self.version = hello.get("version")
+        self.fingerprint = hello.get("fingerprint")
+        self.id = f"tcp:{self.addr}:pid{self.pid}"
+        self.depth = 0
+        self.ready = True
+        self._reader = threading.Thread(
+            target=self._read_loop, args=(outq,), daemon=True,
+            name=f"repro-{self.id}-reader")
+        self._reader.start()
+
+    def _read_loop(self, outq: queue.Queue) -> None:
+        try:
+            for line in self._rfile:
+                frame = parse_frame(line)
+                if frame is not None:
+                    outq.put(("frame", self, frame))
+        except (OSError, ValueError):  # pragma: no cover - teardown race
+            pass
+        self._dead = True
+        outq.put(("eof", self, None))
+
+    @property
+    def alive(self) -> bool:
+        return not self._dead
+
+    def send(self, frame: dict) -> bool:
+        return self.send_many([frame])
+
+    def send_many(self, frames: list[dict]) -> bool:
+        try:
+            with self._lock:
+                self._wfile.write("".join(map(dump_frame, frames)))
+                self._wfile.flush()
+            return True
+        except (OSError, ValueError):
+            return False
+
+    def kill(self) -> None:
+        """Drop the connection (the TCP analogue of SIGKILL): the
+        worker sees EOF and the coordinator's reader thread reports
+        ours."""
+        self._dead = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def shutdown(self) -> None:
+        if not self._dead:
+            self.send({"op": "shutdown"})
+        self.kill()
+
+    def death_detail(self) -> str:
+        return "connection lost"
+
+
+class FleetServer:
+    """The coordinator's TCP listener: accepts, authenticates, and
+    registers remote workers into a shared fleet list.
+
+    ``fleet`` is the coordinator's live shard list (appended from the
+    handshake threads; CPython list ops keep this safe) and ``outq``
+    its event queue — a ``("join", shard, None)`` event wakes a
+    coordinator blocked waiting for capacity.  ``on_event(kind,
+    detail)`` (kinds: ``listening``/``joined``/``refused``) feeds the
+    ``repro fleet listen`` console.
+    """
+
+    def __init__(self, host: str, port: int, *, secret: str,
+                 fingerprint: str, fleet: list, outq: queue.Queue,
+                 on_event=None) -> None:
+        if not secret:
+            raise ValueError(
+                "a fleet listener requires a shared secret "
+                "(set REPRO_FLEET_SECRET)")
+        self._secret = secret
+        self._fingerprint = fingerprint
+        self._fleet = fleet
+        self._outq = outq
+        self._on_event = on_event or (lambda kind, detail: None)
+        self._closed = False
+        self.refused_count = 0
+        self.last_refusal: str | None = None
+        self._sock = socket.create_server((host, port), backlog=16,
+                                          reuse_port=False)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name=f"repro-fleet-accept:{self.port}")
+        self._acceptor.start()
+        self._on_event("listening", f"{self.host}:{self.port}")
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- accept + handshake ---------------------------------------------
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                conn, addr = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            # One thread per handshake: a slow or stalled dialer must
+            # not block other workers from joining.
+            threading.Thread(target=self._handshake, args=(conn, addr),
+                             daemon=True,
+                             name=f"repro-fleet-handshake:{addr}").start()
+
+    def _handshake(self, conn: socket.socket, addr) -> None:
+        try:
+            conn.settimeout(HANDSHAKE_TIMEOUT)
+            rfile, wfile = _frame_files(conn)
+            nonce = new_nonce()
+            wfile.write(dump_frame(challenge_frame(nonce)))
+            wfile.flush()
+            frame = parse_frame(rfile.readline())
+            if frame is None:
+                return self._refuse(conn, wfile, addr,
+                                    "no hello frame received")
+            op = frame.get("op")
+            if op == "status":
+                return self._serve_status(conn, wfile, addr, frame, nonce)
+            if op != "hello":
+                return self._refuse(conn, wfile, addr,
+                                    f"expected a hello frame, got {op!r}")
+            reason = validate_hello(frame, fingerprint=self._fingerprint,
+                                    secret=self._secret, nonce=nonce)
+            if reason is not None:
+                return self._refuse(conn, wfile, addr, reason)
+            wfile.write(dump_frame({
+                "op": "welcome",
+                "auth": auth_digest(self._secret, "coordinator", nonce,
+                                    str(frame.get("nonce", "")))}))
+            wfile.flush()
+            conn.settimeout(None)
+            shard = RemoteShard(conn, rfile, wfile, addr, frame,
+                                self._outq)
+            self._fleet.append(shard)
+            self._outq.put(("join", shard, None))
+            self._on_event("joined",
+                           f"{shard.id} (version {shard.version}, "
+                           f"fingerprint {str(shard.fingerprint)[:12]})")
+        except OSError:  # pragma: no cover - dialer vanished mid-shake
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def _refuse(self, conn, wfile, addr, reason: str) -> None:
+        self.refused_count += 1
+        self.last_refusal = reason
+        self._on_event("refused", f"{addr[0]}:{addr[1]}: {reason}")
+        try:
+            wfile.write(dump_frame({"op": "refused", "error": reason}))
+            wfile.flush()
+        except OSError:  # pragma: no cover
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    def _serve_status(self, conn, wfile, addr, frame: dict,
+                      nonce: str) -> None:
+        expected = auth_digest(self._secret, "status", nonce,
+                               str(frame.get("nonce", "")))
+        import hmac as _hmac
+
+        presented = frame.get("auth")
+        if (not isinstance(presented, str)
+                or not _hmac.compare_digest(presented, expected)):
+            return self._refuse(conn, wfile, addr,
+                                "status query authentication failed")
+        wfile.write(dump_frame({"op": "status", **self.status_doc()}))
+        wfile.flush()
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+    # -- introspection ---------------------------------------------------
+    def status_doc(self) -> dict:
+        """The fleet as one JSON document (served to ``fleet status``)."""
+        workers = []
+        for shard in list(self._fleet):
+            workers.append({
+                "id": shard.id,
+                "transport": "tcp" if getattr(shard, "remote", False)
+                             else "stdio",
+                "addr": getattr(shard, "addr", None),
+                "version": getattr(shard, "version", None),
+                "fingerprint": getattr(shard, "fingerprint", None),
+                "ready": shard.ready,
+                "alive": shard.alive,
+                "in_flight": shard.depth,
+            })
+        return {
+            "listen": self.address,
+            "protocol_version": PROTOCOL_VERSION,
+            "fingerprint": self._fingerprint,
+            "workers": workers,
+            "refused_count": self.refused_count,
+            "last_refusal": self.last_refusal,
+        }
+
+    def close(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ----------------------------------------------------------------------
+# Client side (worker + status CLI)
+# ----------------------------------------------------------------------
+def _open_and_challenge(host: str, port: int, timeout: float):
+    """Dial and read the server's challenge; returns
+    ``(sock, rfile, wfile, nonce)``."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(HANDSHAKE_TIMEOUT)
+    rfile, wfile = _frame_files(sock)
+    frame = parse_frame(rfile.readline())
+    if frame is None or frame.get("op") != "challenge":
+        sock.close()
+        raise HandshakeError(
+            f"{host}:{port} did not open with a challenge frame "
+            "(is that really a repro fleet coordinator?)")
+    return sock, rfile, wfile, str(frame.get("nonce", ""))
+
+
+def connect_worker(host: str, port: int, *, secret: str,
+                   fingerprint: str, retry_for: float | None = 60.0):
+    """Dial a coordinator and complete the worker handshake.
+
+    Connection-level failures (nothing listening yet, network blips)
+    retry every :data:`RETRY_DELAY` seconds for ``retry_for`` seconds
+    (``None`` = forever) — workers are typically launched before or
+    independently of the sweep that will feed them.  A *refusal* is
+    permanent (wrong secret, skewed source tree) and raises
+    :class:`~repro.dist.protocol.HandshakeError` immediately with the
+    coordinator's diagnostic.
+
+    Returns ``(sock, rfile, wfile)`` with the handshake complete and
+    the coordinator's own HMAC proof verified — only then may task
+    frames (which carry pickles) be decoded.
+    """
+    deadline = (None if retry_for is None
+                else time.monotonic() + retry_for)
+    while True:
+        try:
+            sock, rfile, wfile, nonce = _open_and_challenge(
+                host, port, timeout=HANDSHAKE_TIMEOUT)
+            break
+        except (OSError, HandshakeError):
+            if deadline is not None and time.monotonic() >= deadline:
+                raise
+            time.sleep(RETRY_DELAY)
+    worker_nonce = new_nonce()
+    auth = auth_digest(secret, "worker", nonce, worker_nonce)
+    wfile.write(dump_frame(hello_frame(fingerprint, nonce=worker_nonce,
+                                       auth=auth)))
+    wfile.flush()
+    reply = parse_frame(rfile.readline())
+    if reply is None:
+        sock.close()
+        raise HandshakeError(
+            f"coordinator {host}:{port} closed the connection during "
+            "the handshake")
+    if reply.get("op") == "refused":
+        sock.close()
+        raise HandshakeError(
+            f"refused by coordinator {host}:{port}: "
+            f"{reply.get('error', 'no reason given')}")
+    import hmac as _hmac
+
+    expected = auth_digest(secret, "coordinator", nonce, worker_nonce)
+    presented = reply.get("auth")
+    if (reply.get("op") != "welcome" or not isinstance(presented, str)
+            or not _hmac.compare_digest(presented, expected)):
+        sock.close()
+        raise HandshakeError(
+            f"coordinator {host}:{port} failed mutual authentication "
+            "(bad welcome proof) — refusing to accept tasks from it")
+    sock.settimeout(None)
+    return sock, rfile, wfile
+
+
+def query_status(host: str, port: int, *, secret: str,
+                 timeout: float = HANDSHAKE_TIMEOUT) -> dict:
+    """Authenticate as a status client and fetch the fleet document."""
+    sock, rfile, wfile, nonce = _open_and_challenge(host, port,
+                                                    timeout=timeout)
+    try:
+        client_nonce = new_nonce()
+        wfile.write(dump_frame({
+            "op": "status", "nonce": client_nonce,
+            "auth": auth_digest(secret, "status", nonce, client_nonce)}))
+        wfile.flush()
+        reply = parse_frame(rfile.readline())
+    finally:
+        sock.close()
+    if reply is None:
+        raise HandshakeError(
+            f"coordinator {host}:{port} closed the connection without "
+            "answering the status query")
+    if reply.get("op") == "refused":
+        raise HandshakeError(
+            f"refused by coordinator {host}:{port}: "
+            f"{reply.get('error', 'no reason given')}")
+    if reply.get("op") != "status":
+        raise HandshakeError(
+            f"unexpected {reply.get('op')!r} frame in place of the "
+            "status document")
+    return {k: v for k, v in reply.items() if k != "op"}

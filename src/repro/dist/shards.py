@@ -37,6 +37,31 @@ process, shut down atexit) and schedules each sweep over them:
 Workers inherit this process's ``sys.path`` via ``PYTHONPATH`` so the
 fleet can execute any trial function the coordinator can import — the
 local-machine analogue of shipping the code tree to a remote fleet.
+
+**Transports.**  The coordinator is transport-agnostic: a shard is
+anything with ``send``/``send_many``/``kill``/``shutdown``/``alive``/
+``ready`` whose frames land on the coordinator's event queue.  Two
+transports exist today: :class:`_Shard` (a locally spawned ``repro
+worker`` over stdio pipes — the default, and the reference semantics)
+and :class:`repro.dist.net.RemoteShard` (a worker that dialed into
+the coordinator's TCP :class:`~repro.dist.net.FleetServer` with
+``repro worker --connect``).  Remote workers ride the same job queue,
+pipelining, crash-requeue, timeout, and retry machinery; the listener
+is enabled by the ``REPRO_FLEET_LISTEN`` (+ mandatory
+``REPRO_FLEET_SECRET``) environment variables, and
+``REPRO_FLEET_SPAWN_LOCAL=0`` runs a remote-only fleet (the
+coordinator then waits up to ``REPRO_FLEET_WAIT`` seconds for the
+first worker to dial in).
+
+**The handshake.**  No shard receives a single task frame until its
+``hello`` has been validated (:func:`repro.dist.protocol.
+validate_hello`): matching protocol version and matching source-tree
+fingerprint, plus an HMAC shared-secret proof on TCP.  A mismatched
+*remote* worker is refused at the listener with a diagnostic naming
+the mismatch; a mismatched *locally spawned* worker is a broken
+deployment (the coordinator's own spawn disagrees with its own source
+tree), so the sweep fails loudly with :class:`~repro.dist.protocol.
+HandshakeError` instead of silently simulating divergent physics.
 """
 
 from __future__ import annotations
@@ -51,21 +76,50 @@ import warnings
 from collections import deque
 from typing import Sequence
 
-from repro.dist.base import Backend, BackendUnavailable, IN_WORKER_ENV
+from repro.dist.base import (
+    Backend,
+    BackendError,
+    BackendUnavailable,
+    IN_WORKER_ENV,
+)
 from repro.dist.protocol import (
+    HandshakeError,
     dump_frame,
     decode_value,
     fn_ref,
     parse_frame,
     raise_remote,
     task_frame,
+    validate_hello,
 )
 
 #: Per-trial wall-clock budget in seconds (float; unset/0 disables).
 TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
 
+#: ``HOST:PORT`` (or bare port) to accept remote workers on; unset
+#: keeps the fleet local-only.  Requires :data:`SECRET_ENV`.
+LISTEN_ENV = "REPRO_FLEET_LISTEN"
+
+#: Shared secret remote workers must prove knowledge of (HMAC over the
+#: challenge nonce; the secret itself never crosses the wire).
+SECRET_ENV = "REPRO_FLEET_SECRET"
+
+#: ``0``/``false`` forbids spawning local workers — a remote-only
+#: fleet; the coordinator waits for workers to dial in instead.
+SPAWN_LOCAL_ENV = "REPRO_FLEET_SPAWN_LOCAL"
+
+#: Seconds a remote-only sweep waits starved (jobs pending, no usable
+#: worker) for a remote worker to join before giving up.
+WAIT_ENV = "REPRO_FLEET_WAIT"
+
 #: How many times one point may crash a worker before the sweep fails.
 MAX_RETRIES = 2
+
+#: Consecutive worker deaths *before* a validated hello that abort the
+#: sweep (a worker dying pre-handshake completed no work, so the
+#: crash-retry budget never engages — without this bound a broken
+#: spawn environment would respawn forever).
+MAX_HANDSHAKE_DEATHS = 3
 
 #: Task frames a worker may hold at once (one running plus frames
 #: queued in its pipe).  Depth 2 fully hides the coordinator's
@@ -81,9 +135,10 @@ class ShardError(RuntimeError):
 
 
 class _Shard:
-    """One worker subprocess plus its reader thread."""
+    """One worker subprocess plus its reader thread (stdio transport)."""
 
     _counter = 0
+    remote = False
 
     def __init__(self, outq: queue.Queue) -> None:
         _Shard._counter += 1
@@ -103,6 +158,11 @@ class _Shard:
         #: sweep aborted by a trial error can leave a worker finishing
         #: stale tasks; the count drains as their frames arrive).
         self.depth = 0
+        #: No dispatch until the hello handshake validates (version +
+        #: source fingerprint must match the coordinator's).
+        self.ready = False
+        self.version: object = None
+        self.fingerprint: object = None
         self._reader = threading.Thread(
             target=self._read_loop, args=(outq,), daemon=True,
             name=f"repro-{self.id}-reader")
@@ -145,6 +205,9 @@ class _Shard:
         except OSError:  # pragma: no cover - already gone
             pass
 
+    def death_detail(self) -> str:
+        return f"exit {self.proc.poll()!r}"
+
     def shutdown(self) -> None:
         if self.alive:
             self.send({"op": "shutdown"})
@@ -159,16 +222,65 @@ class _Shard:
         self.proc.wait()
 
 
+def _truthy(text: str | None, default: bool) -> bool:
+    if text is None or not text.strip():
+        return default
+    return text.strip().lower() not in ("0", "false", "no", "off")
+
+
 class ShardsBackend(Backend):
     name = "shards"
 
-    def __init__(self) -> None:
+    def __init__(self, *, listen: str | None = None,
+                 secret: str | None = None,
+                 spawn_local: bool | None = None,
+                 join_wait: float | None = None) -> None:
         self._outq: queue.Queue = queue.Queue()
-        self._fleet: list[_Shard] = []
+        self._fleet: list = []
         self._epoch = 0
         #: Coordinator statistics of the most recent run() (tests and
         #: curious operators; not part of the result contract).
         self.last_stats: dict = {}
+        # Fleet (TCP) configuration; constructor arguments win over the
+        # environment so tests can build private listening backends.
+        listen = listen if listen is not None else os.environ.get(
+            LISTEN_ENV, "").strip()
+        self._secret = (secret if secret is not None
+                        else os.environ.get(SECRET_ENV) or None)
+        self._spawn_local = (spawn_local if spawn_local is not None
+                             else _truthy(os.environ.get(SPAWN_LOCAL_ENV),
+                                          True))
+        self._join_wait = (join_wait if join_wait is not None else float(
+            os.environ.get(WAIT_ENV, "") or 60.0))
+        self.server = None
+        if listen:
+            from repro.dist.net import FleetServer, parse_hostport
+
+            if not self._secret:
+                raise BackendError(
+                    f"{LISTEN_ENV} is set but no shared secret is: "
+                    f"remote workers authenticate with an HMAC proof, "
+                    f"so a listening fleet requires {SECRET_ENV}")
+            host, port = parse_hostport(listen)
+            try:
+                self.server = FleetServer(
+                    host, port, secret=self._secret,
+                    fingerprint=self._expected_fingerprint(),
+                    fleet=self._fleet, outq=self._outq)
+            except OSError as exc:
+                raise BackendError(
+                    f"cannot listen on {listen!r}: {exc}") from exc
+        elif not self._spawn_local:
+            raise BackendError(
+                f"{SPAWN_LOCAL_ENV}=0 without {LISTEN_ENV}: a fleet "
+                "that neither spawns local workers nor accepts remote "
+                "ones could never run a trial")
+
+    @staticmethod
+    def _expected_fingerprint() -> str:
+        from repro.exp.cache import code_fingerprint
+
+        return code_fingerprint()
 
     # -- fleet management ------------------------------------------------
     def _spawn_one(self) -> _Shard:
@@ -177,12 +289,16 @@ class ShardsBackend(Backend):
         return shard
 
     def _ensure_fleet(self, n: int) -> None:
-        self._fleet = [s for s in self._fleet if s.alive]
+        self._fleet[:] = [s for s in self._fleet if s.alive]
+        if not self._spawn_local:
+            return  # remote-only: workers dial in, we never spawn
         while sum(1 for s in self._fleet if s.alive) < n:
             self._spawn_one()
 
     def close(self) -> None:
-        fleet, self._fleet = self._fleet, []
+        if self.server is not None:
+            self.server.close()
+        fleet, self._fleet[:] = list(self._fleet), []
         for shard in fleet:
             shard.shutdown()
 
@@ -225,10 +341,16 @@ class ShardsBackend(Backend):
         deadlines: dict[_Shard, float] = {}
         used: set[str] = set()
         stats = {"crashes": 0, "retries": 0, "timeouts": 0,
-                 "workers_used": 0,
+                 "workers_used": 0, "remote_workers_used": 0,
                  "ff_totals": {k: 0 for k in fastforward.totals()}}
         self.last_stats = stats
         completed = 0
+        #: Consecutive deaths of never-validated workers (see
+        #: MAX_HANDSHAKE_DEATHS); reset by any successful hello.
+        handshake_deaths = 0
+        #: When a remote-only fleet first found itself starved (jobs
+        #: pending, nothing running, nobody to dispatch to).
+        starved_at: float | None = None
 
         def requeue_from(shard: _Shard, why: str) -> None:
             entries = inflight.pop(shard)
@@ -258,8 +380,11 @@ class ShardsBackend(Backend):
             # allowed to run, batching the frames into one write.  A
             # fleet kept alive by a wider earlier sweep may hold more
             # daemons than this sweep asked for; the cap keeps
-            # --workers an honest concurrency bound.
-            active = [s for s in self._fleet if s.alive][:fleet_size]
+            # --workers an honest concurrency bound.  Only validated
+            # workers are dispatchable: a shard whose hello has not
+            # cleared the version/fingerprint handshake gets nothing.
+            active = [s for s in self._fleet
+                      if s.alive and s.ready][:fleet_size]
             for shard in active:
                 if shard.depth >= PREFETCH or not pending:
                     continue
@@ -292,6 +417,9 @@ class ShardsBackend(Backend):
                 shard.depth += len(picked)
                 used.add(shard.id)
                 stats["workers_used"] = len(used)
+                if shard.remote:
+                    stats["remote_workers_used"] = sum(
+                        1 for wid in used if wid.startswith("tcp:"))
                 if timeout and was_idle:
                     # The head starts immediately; mates queue behind
                     # it and get their deadline when they reach the
@@ -302,19 +430,46 @@ class ShardsBackend(Backend):
             # Liveness: jobs remain but nothing is running and no idle
             # worker may take them (all excluded, or the fleet died).
             # A fresh worker has a fresh id, so it can take anything.
+            # A shard still awaiting its hello will become usable
+            # without any action, so starvation only counts when no
+            # handshake is in flight either.
+            starving = False
             if pending and not inflight:
                 stale_busy = any(s.depth and s.alive for s in self._fleet)
-                if not stale_busy:
-                    try:
-                        self._spawn_one()
-                    except OSError as exc:
-                        raise BackendUnavailable(exc) from exc
-                    continue
+                awaiting_hello = any(s.alive and not s.ready
+                                     for s in self._fleet)
+                if not stale_busy and not awaiting_hello:
+                    if self._spawn_local:
+                        try:
+                            self._spawn_one()
+                        except OSError as exc:
+                            raise BackendUnavailable(exc) from exc
+                        continue
+                    # Remote-only: wait (bounded) for a worker to dial
+                    # into the listener.
+                    starving = True
+                    now = time.monotonic()
+                    if starved_at is None:
+                        starved_at = now
+                    elif now - starved_at >= self._join_wait:
+                        where = (self.server.address if self.server
+                                 else "<no listener>")
+                        raise BackendUnavailable(
+                            f"no authenticated remote worker joined "
+                            f"within {self._join_wait:g}s (listening "
+                            f"on {where}; {len(pending)} trial(s) "
+                            f"still pending)")
+            if not starving:
+                starved_at = None
 
             wait = None
             if timeout and deadlines:
                 wait = max(0.01,
                            min(deadlines.values()) - time.monotonic())
+            if starved_at is not None:
+                remaining = max(
+                    0.01, starved_at + self._join_wait - time.monotonic())
+                wait = remaining if wait is None else min(wait, remaining)
             try:
                 kind, shard, frame = self._outq.get(timeout=wait)
             except queue.Empty:
@@ -336,14 +491,35 @@ class ShardsBackend(Backend):
                         del deadlines[straggler]
                 continue
 
+            if kind == "join":
+                # A remote worker passed the listener's handshake and
+                # joined the fleet; loop back to dispatch to it.
+                continue
+
             if kind == "eof":
-                if shard in self._fleet:
+                # A shard we already evicted (refused hello, killed in
+                # a previous sweep) reports a stale EOF: pure noise,
+                # never evidence about this sweep's spawn environment.
+                was_ours = shard in self._fleet
+                if was_ours:
                     self._fleet.remove(shard)
+                if was_ours and not shard.ready:
+                    # Died before its hello ever validated: it never
+                    # held a task, so the retry budget cannot bound a
+                    # spawn environment that kills every worker.
+                    handshake_deaths += 1
+                    if (self._spawn_local
+                            and handshake_deaths >= MAX_HANDSHAKE_DEATHS):
+                        raise BackendUnavailable(
+                            f"{handshake_deaths} consecutive workers "
+                            f"died before completing the hello "
+                            f"handshake (last: {shard.id}, "
+                            f"{shard.death_detail()})")
                 if shard in inflight:
                     stats["crashes"] += 1
                     requeue_from(
                         shard,
-                        f"died (exit {shard.proc.poll()!r}) running")
+                        f"died ({shard.death_detail()}) running")
                     try:
                         self._ensure_fleet(fleet_size)
                     except OSError as exc:
@@ -352,7 +528,37 @@ class ShardsBackend(Backend):
                 continue
 
             op = frame.get("op")
-            if op in ("hello", "pong"):
+            if op == "pong":
+                continue
+            if op == "hello":
+                # Local stdio transport only: remote hellos are
+                # consumed (and validated) by the FleetServer before a
+                # RemoteShard exists.  A mismatch here means our own
+                # spawn runs different code than this process — refuse
+                # the worker and fail the sweep loudly rather than let
+                # it poison a bit-identity-pinned sweep.
+                if shard not in self._fleet:
+                    continue  # stale hello from an already-evicted worker
+                reason = validate_hello(
+                    frame, fingerprint=self._expected_fingerprint())
+                if reason is not None:
+                    # The whole unvalidated spawn batch came from the
+                    # same broken environment: kill it all, or a
+                    # sibling's pending hello would poison the next
+                    # sweep after the environment is fixed.
+                    doomed = [s for s in self._fleet
+                              if s is shard or (not s.remote
+                                                and not s.ready)]
+                    for sibling in doomed:
+                        sibling.kill()
+                        self._fleet.remove(sibling)
+                    raise HandshakeError(
+                        f"refusing locally spawned worker {shard.id}: "
+                        f"{reason}")
+                shard.ready = True
+                shard.version = frame.get("version")
+                shard.fingerprint = frame.get("fingerprint")
+                handshake_deaths = 0
                 continue
             shard.depth = max(0, shard.depth - 1)
             task_id = str(frame.get("id", ""))

@@ -1,17 +1,35 @@
 """``python -m repro worker`` — a long-lived sweep-worker daemon.
 
-The shards backend spawns one of these per worker slot and feeds it
-task frames over stdin; results go back over stdout (protocol in
-:mod:`repro.dist.protocol`).  A worker imports the simulator once and
-then executes trials until told to shut down (or its pipe closes), so
-a thousand-trial sweep pays interpreter startup, imports, and warmup
-once per worker instead of once per task.
+Two transports feed it task frames (protocol in
+:mod:`repro.dist.protocol`):
+
+* **stdio** (default): the shards backend spawns one of these per
+  worker slot; frames arrive on stdin and results leave on stdout.
+* **TCP** (``--connect HOST:PORT``): the worker *dials into* a
+  coordinator's fleet listener — possibly on another machine — and
+  authenticates with the shared secret in ``REPRO_FLEET_SECRET``
+  (an HMAC proof over the coordinator's challenge nonce; the secret
+  never crosses the wire).  The coordinator must prove knowledge of
+  the same secret back, and no task frame (which may carry pickles)
+  is decoded until that mutual handshake completes.  A refusal —
+  wrong secret, protocol-version skew, source-fingerprint skew — is
+  printed with the coordinator's diagnostic and exits with code 77;
+  it is permanent, so it is never retried.  Plain connection failures
+  retry (``--retry`` seconds; ``--reconnect`` additionally re-dials
+  after a served session ends, turning the worker into a standing
+  fleet member that survives coordinator restarts).
+
+A worker imports the simulator once and then executes trials until
+told to shut down (or its transport closes), so a thousand-trial sweep
+pays interpreter startup, imports, and warmup once per worker instead
+of once per task.
 
 Hygiene the daemon guarantees:
 
-* the protocol stream is a private dup of stdout taken at startup;
-  file descriptor 1 is then redirected to stderr, so a trial that
-  prints cannot corrupt the wire;
+* on stdio, the protocol stream is a private dup of stdout taken at
+  startup; file descriptor 1 is then redirected to stderr, so a trial
+  that prints cannot corrupt the wire (on TCP the wire is the socket,
+  which no ``print`` can reach — stdout is left alone);
 * ``REPRO_IN_WORKER`` is set, so a trial that itself calls
   ``map_trials`` resolves to the serial backend instead of recursively
   spawning fleets;
@@ -39,10 +57,11 @@ import traceback
 
 from repro.dist.base import IN_WORKER_ENV
 from repro.dist.protocol import (
-    PROTOCOL_VERSION,
+    HandshakeError,
     decode_value,
     dump_frame,
     error_frame,
+    hello_frame,
     parse_frame,
     resolve_fn,
 )
@@ -51,6 +70,11 @@ from repro.dist.protocol import (
 #: after every task and are near-free; a full pass is ~ms in a warm
 #: worker, so amortizing it keeps per-trial dispatch overhead low).
 GC_FULL_EVERY = 32
+
+#: Exit codes: refusal by the coordinator (permanent handshake
+#: failure) and transport unavailability (connect retries exhausted).
+EX_REFUSED = 77
+EX_UNAVAILABLE = 69
 
 
 def _warm() -> None:
@@ -103,27 +127,14 @@ def _run_task(frame: dict) -> dict:
     return reply
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro worker",
-        description="sweep-worker daemon: reads NDJSON task frames on "
-                    "stdin, writes result frames on stdout (internal; "
-                    "spawned by the shards backend)")
-    parser.add_argument("--no-warm", action="store_true",
-                        help="skip preloading the simulator modules")
-    args = parser.parse_args(argv)
-
-    os.environ[IN_WORKER_ENV] = "1"
-    proto = _claim_protocol_stream()
-    if not args.no_warm:
-        _warm()
-    proto.write(dump_frame({"op": "hello", "pid": os.getpid(),
-                            "version": PROTOCOL_VERSION}))
-
+def _serve(instream, proto) -> int:
+    """The task loop, transport-agnostic: read frames from
+    ``instream``, write replies to ``proto``, until shutdown or EOF.
+    Returns the process exit code (0 = clean end of session)."""
     gc.disable()
     tasks_since_full_gc = 0
     try:
-        for line in sys.stdin:
+        for line in instream:
             frame = parse_frame(line)
             if frame is None:
                 if line.strip():
@@ -161,6 +172,98 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         gc.enable()
     return 0
+
+
+def _fingerprint() -> str:
+    from repro.exp.cache import code_fingerprint
+
+    return code_fingerprint()
+
+
+def _connect_main(target: str, *, reconnect: bool, retry_for: float,
+                  warm: bool) -> int:
+    """Dial a coordinator and serve tasks over the socket."""
+    from repro.dist.net import connect_worker, parse_hostport
+
+    secret = os.environ.get("REPRO_FLEET_SECRET")
+    if not secret:
+        print("worker: --connect requires the shared secret in "
+              "REPRO_FLEET_SECRET (never passed on the command line)",
+              file=sys.stderr)
+        return 2
+    try:
+        host, port = parse_hostport(target)
+    except ValueError as exc:
+        print(f"worker: {exc}", file=sys.stderr)
+        return 2
+    if warm:
+        _warm()
+    fingerprint = _fingerprint()
+    while True:
+        try:
+            sock, rfile, wfile = connect_worker(
+                host, port, secret=secret, fingerprint=fingerprint,
+                retry_for=None if reconnect else retry_for)
+        except HandshakeError as exc:
+            # Permanent: wrong secret or a skewed tree will not heal
+            # by retrying.  The message names the mismatch.
+            print(f"worker: {exc}", file=sys.stderr)
+            return EX_REFUSED
+        except OSError as exc:
+            print(f"worker: cannot reach coordinator {host}:{port} "
+                  f"after {retry_for:g}s: {exc}", file=sys.stderr)
+            return EX_UNAVAILABLE
+        print(f"worker: joined fleet at {host}:{port} "
+              f"(pid {os.getpid()})", file=sys.stderr)
+        try:
+            code = _serve(rfile, wfile)
+        except OSError:
+            code = 0  # connection dropped mid-session: a clean EOF
+        finally:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        if code != 0 or not reconnect:
+            return code
+        print(f"worker: session ended; redialing {host}:{port} ...",
+              file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro worker",
+        description="sweep-worker daemon: executes NDJSON task frames "
+                    "from a shards coordinator, over stdin/stdout "
+                    "(spawned by the backend) or a TCP connection "
+                    "(--connect; authenticates with "
+                    "$REPRO_FLEET_SECRET)")
+    parser.add_argument("--no-warm", action="store_true",
+                        help="skip preloading the simulator modules")
+    parser.add_argument("--connect", metavar="HOST:PORT", default=None,
+                        help="dial into a fleet coordinator instead of "
+                             "serving stdin (shared secret read from "
+                             "REPRO_FLEET_SECRET)")
+    parser.add_argument("--reconnect", action="store_true",
+                        help="with --connect: redial forever after a "
+                             "session ends (a standing fleet member); "
+                             "a handshake refusal still exits")
+    parser.add_argument("--retry", type=float, default=60.0,
+                        metavar="SECONDS",
+                        help="with --connect: keep retrying the initial "
+                             "connection this long (default: 60)")
+    args = parser.parse_args(argv)
+
+    os.environ[IN_WORKER_ENV] = "1"
+    if args.connect:
+        return _connect_main(args.connect, reconnect=args.reconnect,
+                             retry_for=args.retry, warm=not args.no_warm)
+
+    proto = _claim_protocol_stream()
+    if not args.no_warm:
+        _warm()
+    proto.write(dump_frame(hello_frame(_fingerprint())))
+    return _serve(sys.stdin, proto)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -159,8 +159,19 @@ class ResultCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
-        tmp.write_bytes(pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
-        tmp.replace(path)
+        try:
+            tmp.write_bytes(
+                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            tmp.replace(path)
+        except BaseException:
+            # A failed write must not leave a half-written .tmp behind
+            # (a hard process kill still can: prune()/clear() sweep
+            # those orphans, and stats() reports them).
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -182,6 +193,19 @@ class ResultCache:
             except OSError:
                 continue
 
+    def _tmp_files(self):
+        """Yield ``(path, stat_result)`` for orphaned ``*.pkl.tmp``
+        files — the debris of a :meth:`put` that died between write and
+        rename.  They are invisible to :meth:`entries` (the live-entry
+        glob), so the maintenance paths sweep them explicitly."""
+        if not self.directory.is_dir():
+            return
+        for path in sorted(self.directory.glob("*/*.pkl.tmp")):
+            try:
+                yield path, path.stat()
+            except OSError:
+                continue
+
     def stats(self, *, now: float | None = None) -> dict:
         """Aggregate cache statistics (counts, bytes, entry ages)."""
         if now is None:
@@ -197,6 +221,11 @@ class ResultCache:
                 oldest, stat.st_mtime)
             newest = stat.st_mtime if newest is None else max(
                 newest, stat.st_mtime)
+        tmp_files = 0
+        tmp_bytes = 0
+        for _, stat in self._tmp_files():
+            tmp_files += 1
+            tmp_bytes += stat.st_size
         return {
             "directory": str(self.directory),
             "entries": count,
@@ -205,6 +234,8 @@ class ResultCache:
                                                             now - oldest),
             "newest_age_s": None if newest is None else max(0.0,
                                                             now - newest),
+            "tmp_files": tmp_files,
+            "tmp_bytes": tmp_bytes,
             "hit_count": self.hit_count,
             "miss_count": self.miss_count,
             "put_count": self.put_count,
@@ -213,13 +244,16 @@ class ResultCache:
     def prune(self, older_than_s: float, *,
               now: float | None = None) -> tuple[int, int]:
         """Delete entries last written more than ``older_than_s`` seconds
-        ago; returns ``(entries_removed, bytes_freed)``.  Empty shard
-        subdirectories are removed afterwards."""
+        ago; returns ``(entries_removed, bytes_freed)``.  Orphaned
+        ``*.pkl.tmp`` files past the same age are swept too (and
+        counted), and empty shard subdirectories are removed
+        afterwards."""
         if now is None:
             now = time.time()
         removed = 0
         freed = 0
-        for path, stat in list(self.entries()):
+        candidates = list(self.entries()) + list(self._tmp_files())
+        for path, stat in candidates:
             if now - stat.st_mtime <= older_than_s:
                 continue
             try:
@@ -232,11 +266,19 @@ class ResultCache:
         return removed, freed
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and every orphaned ``*.pkl.tmp``);
+        returns the number removed.  An entry that vanishes
+        mid-iteration (a concurrent prune/clear) is skipped, not a
+        crash — and not counted as removed by *this* call."""
         removed = 0
         if self.directory.is_dir():
-            for path in self.directory.glob("*/*.pkl"):
-                path.unlink()
+            doomed = list(self.directory.glob("*/*.pkl"))
+            doomed.extend(self.directory.glob("*/*.pkl.tmp"))
+            for path in doomed:
+                try:
+                    path.unlink()
+                except OSError:
+                    continue
                 removed += 1
         self._remove_empty_shards()
         return removed

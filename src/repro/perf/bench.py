@@ -245,6 +245,51 @@ def _bench_backend_dispatch(n_points: int) -> float:
     return elapsed
 
 
+def _bench_fleet_dispatch(n_points: int) -> float:
+    """Wall seconds to push ``n_points`` no-op trials through a
+    remote-only TCP fleet on localhost: the same coordinator machinery
+    as the stdio metric, plus socket round-trips instead of pipe
+    writes.  Two ``repro worker --connect`` processes dial in and
+    authenticate once; a small warm batch absorbs the dial-in and
+    handshake, so the measured batch is the steady per-batch dispatch
+    cost a cross-machine sweep sees.
+    """
+    from repro.dist.shards import ShardsBackend
+
+    secret = "bench-fleet-secret"
+    backend = ShardsBackend(listen="127.0.0.1:0", secret=secret,
+                            spawn_local=False, join_wait=30.0)
+    procs = []
+    try:
+        env = dict(os.environ)
+        env["REPRO_FLEET_SECRET"] = secret
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        for _ in range(2):
+            procs.append(subprocess.Popen(
+                [sys.executable, "-m", "repro", "worker", "--no-warm",
+                 "--connect", backend.server.address],
+                stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+                env=env))
+        warm = list(range(4))
+        backend.run(_dispatch_trial, warm, [None] * len(warm), workers=2)
+        points = list(range(n_points))
+        start = time.perf_counter()
+        out = backend.run(_dispatch_trial, points, [None] * n_points,
+                          workers=2)
+        elapsed = time.perf_counter() - start
+        if out != points:  # pragma: no cover - defensive
+            raise RuntimeError(
+                "fleet dispatch bench returned wrong results")
+        return elapsed
+    finally:
+        backend.close()
+        for proc in procs:
+            try:
+                proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+
+
 def _bench_serve(n_requests: int) -> tuple[float, float]:
     """The server's cached-hit fast path: ``(best_latency_s, req/s)``.
 
@@ -404,6 +449,12 @@ def _collect_metrics_inner(config, metrics, log):
         lambda: _bench_backend_dispatch(config.dispatch_points),
         config.repeats)
     metrics["backend_dispatch_overhead_seconds"] = round(min(times), 4)
+
+    log("dist: TCP fleet dispatch overhead (localhost) ...")
+    # One pass, not best-of-N: the run spawns its own private fleet
+    # and absorbs the handshake with an internal warm batch.
+    metrics["fleet_dispatch_overhead_seconds"] = round(
+        _bench_fleet_dispatch(config.dispatch_points), 4)
 
     log("serve: cached-hit HTTP fast path ...")
     # One call, not best-of-N: the run streams n_requests through a

@@ -114,3 +114,15 @@ def hang_once(point):
             handle.write("hanging")
         time.sleep(120)
     return point["v"] + 1
+
+
+def report_pid_and_hang_once(point):
+    """Write the hosting worker's pid to ``point["marker"]`` and hang
+    the first time this point runs — the fleet tests SIGKILL that pid
+    from outside, mid-trial; instant on the retry."""
+    marker = point.get("marker")
+    if marker and not os.path.exists(marker):
+        with open(marker, "w") as handle:
+            handle.write(str(os.getpid()))
+        time.sleep(120)
+    return point["v"] + 1

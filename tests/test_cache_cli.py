@@ -130,3 +130,20 @@ class TestCacheCommands:
         assert rc == 0
         assert "cleared 3 entries" in capsys.readouterr().out
         assert len(cache) == 0
+
+    def test_stats_and_clear_see_tmp_orphans(self, cache, capsys):
+        import json
+
+        path = cache._path(KEY_A)
+        path.with_name(path.name + ".tmp").write_bytes(b"debris")
+        rc = main(["cache", "stats", "--json", "--cache-dir",
+                   str(cache.directory)])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tmp_files"] == 1 and doc["tmp_bytes"] > 0
+        rc = main(["cache", "clear", "--cache-dir",
+                   str(cache.directory)])
+        assert rc == 0
+        # 3 entries + 1 orphaned .pkl.tmp
+        assert "cleared 4 entries" in capsys.readouterr().out
+        assert cache.stats()["tmp_files"] == 0

@@ -1,0 +1,276 @@
+"""Tests for the TCP fleet transport: dial-in workers, the
+challenge/hello handshake (auth, version, fingerprint refusals with
+diagnostics), SIGKILL crash recovery across the socket, the status
+protocol, and the sweep-equivalence contract over TCP."""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import dist_trials
+from repro.dist import execution
+from repro.dist.base import BackendUnavailable, register_backend
+from repro.dist.net import parse_hostport, query_status
+from repro.dist.protocol import HandshakeError, PROTOCOL_VERSION
+from repro.dist.shards import ShardsBackend
+from repro.exp.cache import canonicalize, stable_key
+from repro.exp.registry import get_experiment
+from repro.exp.runner import map_trials
+
+SECRET = "fleet-test-secret"
+
+
+def _worker_cmd(address, *extra):
+    return [sys.executable, "-m", "repro", "worker", "--no-warm",
+            "--connect", address, *extra]
+
+
+def _worker_env(extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    env["REPRO_FLEET_SECRET"] = SECRET
+    env.update(extra or {})
+    return env
+
+
+def _wait_for_join(backend, count=1, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if sum(1 for s in backend._fleet
+               if s.remote and s.alive and s.ready) >= count:
+            return
+        time.sleep(0.05)
+    raise AssertionError(
+        f"no {count} remote worker(s) joined within {timeout:g}s")
+
+
+@pytest.fixture()
+def fleet():
+    """A private remote-only listening backend plus a worker spawner;
+    every spawned worker is torn down hard after the test."""
+    backend = ShardsBackend(listen="127.0.0.1:0", secret=SECRET,
+                            spawn_local=False, join_wait=60.0)
+    procs = []
+
+    def spawn(env_extra=None, *extra_args):
+        proc = subprocess.Popen(
+            _worker_cmd(backend.server.address, *extra_args),
+            stderr=subprocess.DEVNULL, env=_worker_env(env_extra))
+        procs.append(proc)
+        return proc
+
+    yield backend, spawn
+    backend.close()
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+        proc.wait(timeout=10)
+
+
+class TestFleetRoundTrip:
+    def test_remote_workers_run_the_sweep(self, fleet):
+        backend, spawn = fleet
+        spawn()
+        points = list(range(8))
+        out = backend.run(dist_trials.square, points, [None] * 8,
+                          workers=2)
+        assert out == [p * p for p in points]
+        assert backend.last_stats["remote_workers_used"] == 1
+
+    def test_status_doc_shows_joined_workers(self, fleet):
+        backend, spawn = fleet
+        spawn()
+        _wait_for_join(backend)
+        doc = backend.server.status_doc()
+        assert doc["protocol_version"] == PROTOCOL_VERSION
+        assert len(doc["workers"]) == 1
+        worker = doc["workers"][0]
+        assert worker["transport"] == "tcp"
+        assert worker["ready"] and worker["alive"]
+        assert worker["version"] == PROTOCOL_VERSION
+
+    def test_fleet_is_reused_across_sweeps(self, fleet):
+        backend, spawn = fleet
+        spawn()
+        backend.run(dist_trials.square, [1, 2], [None] * 2, workers=2)
+        remote = [s for s in backend._fleet if s.remote]
+        backend.run(dist_trials.square, [3, 4], [None] * 2, workers=2)
+        assert [s for s in backend._fleet if s.remote] == remote
+
+
+class TestFleetCrashRecovery:
+    def test_sigkill_mid_trial_recovers_with_serial_checksum(
+            self, fleet, tmp_path):
+        """kill -9 a remote worker while it runs a trial: the
+        coordinator must see the socket EOF, requeue the point on a
+        surviving worker, and finish with results bit-identical to the
+        serial backend."""
+        backend, spawn = fleet
+        spawn()
+        spawn()
+        _wait_for_join(backend, count=2)
+        marker = tmp_path / "victim-pid"
+        points = [{"v": v, "marker": str(marker) if v == 2 else None}
+                  for v in range(6)]
+
+        import threading
+
+        def assassin():
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if marker.exists() and marker.read_text().strip():
+                    os.kill(int(marker.read_text()), signal.SIGKILL)
+                    return
+                time.sleep(0.05)
+
+        killer = threading.Thread(target=assassin, daemon=True)
+        killer.start()
+        with pytest.warns(RuntimeWarning, match="died.*requeueing"):
+            out = backend.run(dist_trials.report_pid_and_hang_once,
+                              points, [None] * 6, workers=2)
+        killer.join(timeout=5)
+        assert backend.last_stats["crashes"] == 1
+        # Bit-identity with the reference semantics: the marker exists
+        # now, so the serial run takes the instant path on every point.
+        serial = map_trials(dist_trials.report_pid_and_hang_once,
+                            points, backend="serial")
+        assert (stable_key(canonicalize(out))
+                == stable_key(canonicalize(serial)))
+        assert out == [v + 1 for v in range(6)]
+
+
+class TestFleetRefusals:
+    def _refused_worker(self, address, env_extra):
+        proc = subprocess.run(
+            _worker_cmd(address, "--retry", "5"),
+            stderr=subprocess.PIPE, text=True, timeout=60,
+            env=_worker_env(env_extra))
+        return proc.returncode, proc.stderr
+
+    def test_wrong_secret_refused_with_diagnostic(self, fleet):
+        backend, _ = fleet
+        code, err = self._refused_worker(
+            backend.server.address, {"REPRO_FLEET_SECRET": "wrong"})
+        assert code == 77  # permanent refusal, not a retryable error
+        assert "authentication failed" in err
+        assert backend.server.refused_count == 1
+        assert "authentication failed" in backend.server.last_refusal
+
+    def test_wrong_fingerprint_refused_naming_both_trees(self, fleet):
+        backend, _ = fleet
+        code, err = self._refused_worker(
+            backend.server.address,
+            {"REPRO_WORKER_FINGERPRINT": "deadbeef"})
+        assert code == 77
+        assert "fingerprint mismatch" in err
+        assert "deadbeef" in err  # the worker's claimed tree...
+        expected = backend._expected_fingerprint()[:12]
+        assert expected in err  # ...and the coordinator's own
+
+    def test_wrong_version_refused_naming_both_versions(self, fleet):
+        backend, _ = fleet
+        code, err = self._refused_worker(
+            backend.server.address,
+            {"REPRO_WORKER_PROTOCOL_VERSION": "1"})
+        assert code == 77
+        assert "version mismatch" in err
+        assert "speaks 1" in err
+        assert f"requires {PROTOCOL_VERSION}" in err
+
+    def test_missing_secret_is_a_config_error(self, fleet):
+        backend, _ = fleet
+        env = _worker_env()
+        del env["REPRO_FLEET_SECRET"]
+        proc = subprocess.run(
+            _worker_cmd(backend.server.address),
+            stderr=subprocess.PIPE, text=True, timeout=60, env=env)
+        assert proc.returncode == 2
+        assert "REPRO_FLEET_SECRET" in proc.stderr
+
+    def test_refused_worker_never_joins_the_fleet(self, fleet):
+        backend, _ = fleet
+        self._refused_worker(backend.server.address,
+                             {"REPRO_WORKER_FINGERPRINT": "deadbeef"})
+        assert not [s for s in backend._fleet if s.remote]
+
+
+class TestFleetStatusProtocol:
+    def test_query_status_round_trips(self, fleet):
+        backend, spawn = fleet
+        spawn()
+        _wait_for_join(backend)
+        host, port = parse_hostport(backend.server.address)
+        doc = query_status(host, port, secret=SECRET)
+        assert doc["listen"] == backend.server.address
+        assert len(doc["workers"]) == 1
+        assert doc["refused_count"] == 0
+
+    def test_query_status_requires_the_secret(self, fleet):
+        backend, _ = fleet
+        host, port = parse_hostport(backend.server.address)
+        with pytest.raises(HandshakeError, match="authentication"):
+            query_status(host, port, secret="wrong")
+
+    def test_fleet_status_cli_json(self, fleet):
+        backend, spawn = fleet
+        spawn()
+        _wait_for_join(backend)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "fleet", "status",
+             "--connect", backend.server.address, "--json"],
+            stdout=subprocess.PIPE, text=True, timeout=60,
+            env=_worker_env())
+        assert proc.returncode == 0
+        doc = json.loads(proc.stdout)
+        assert doc["protocol_version"] == PROTOCOL_VERSION
+        assert len(doc["workers"]) == 1
+
+
+class TestRemoteOnlyLiveness:
+    def test_starved_remote_only_sweep_gives_up_loudly(self):
+        backend = ShardsBackend(listen="127.0.0.1:0", secret=SECRET,
+                                spawn_local=False, join_wait=1.0)
+        try:
+            with pytest.raises(BackendUnavailable,
+                               match="no authenticated remote worker"):
+                backend.run(dist_trials.square, [1, 2], [None] * 2,
+                            workers=2)
+        finally:
+            backend.close()
+
+    def test_remote_only_without_listener_is_rejected(self):
+        from repro.dist.base import BackendError
+
+        with pytest.raises(BackendError, match="never run a trial"):
+            ShardsBackend(listen=None, secret=None, spawn_local=False)
+
+
+class TestFleetSweepEquivalence:
+    """The subsystem contract, now over TCP: a registry experiment
+    swept through a remote-only localhost fleet is bit-identical
+    (canonical-JSON checksum) to the serial sweep."""
+
+    def test_fig4_checksum_identical_serial_vs_fleet(self, fleet):
+        backend, spawn = fleet
+        spawn()
+        spawn()
+        register_backend("fleet-under-test", lambda: backend)
+        try:
+            fig4 = get_experiment("fig4").fn
+            serial = fig4(intensities=(1, 50), n_bits=4)
+            with execution(backend="fleet-under-test"):
+                fleeted = fig4(intensities=(1, 50), n_bits=4, workers=2)
+            assert (stable_key(canonicalize(serial.rows))
+                    == stable_key(canonicalize(fleeted.rows)))
+            assert backend.last_stats["remote_workers_used"] >= 1
+        finally:
+            # Unregister without closing: the fixture owns the backend.
+            from repro.dist import base as dist_base
+
+            dist_base._instances.pop("fleet-under-test", None)
+            dist_base._FACTORIES.pop("fleet-under-test", None)

@@ -7,17 +7,24 @@ import pytest
 
 import dist_trials
 from repro.dist.protocol import (
+    FINGERPRINT_ENV,
+    PROTOCOL_VERSION,
     ProtocolError,
     RemoteTrialError,
+    VERSION_ENV,
+    auth_digest,
     decode_value,
     dump_frame,
     encode_value,
     error_frame,
     fn_ref,
+    hello_frame,
+    new_nonce,
     parse_frame,
     raise_remote,
     resolve_fn,
     task_frame,
+    validate_hello,
 )
 
 
@@ -104,6 +111,80 @@ class TestFrames:
         assert parse_frame("stray print output\n") is None
         assert parse_frame("{not json}\n") is None
         assert parse_frame("[1, 2]\n") is None  # non-dict JSON
+
+
+FP = "f" * 64
+
+
+class TestHandshake:
+    def _hello(self, *, secret=None, server_nonce="", fingerprint=FP):
+        worker_nonce = new_nonce()
+        auth = (auth_digest(secret, "worker", server_nonce, worker_nonce)
+                if secret is not None else None)
+        return hello_frame(fingerprint, nonce=worker_nonce, auth=auth)
+
+    def test_matching_hello_accepted(self):
+        frame = self._hello()
+        assert validate_hello(frame, fingerprint=FP) is None
+
+    def test_matching_authenticated_hello_accepted(self):
+        nonce = new_nonce()
+        frame = self._hello(secret="s3", server_nonce=nonce)
+        assert validate_hello(frame, fingerprint=FP, secret="s3",
+                              nonce=nonce) is None
+
+    def test_wrong_secret_named(self):
+        nonce = new_nonce()
+        frame = self._hello(secret="wrong", server_nonce=nonce)
+        reason = validate_hello(frame, fingerprint=FP, secret="right",
+                                nonce=nonce)
+        assert "authentication failed" in reason
+
+    def test_auth_checked_before_version_or_fingerprint(self):
+        # An unauthenticated peer must learn nothing about our
+        # version/fingerprint from the refusal reason.
+        frame = self._hello(secret="wrong", server_nonce="n",
+                            fingerprint="also-wrong")
+        frame["version"] = -1
+        reason = validate_hello(frame, fingerprint=FP, secret="right",
+                                nonce="n")
+        assert "authentication failed" in reason
+
+    def test_version_mismatch_names_both_sides(self):
+        frame = self._hello()
+        frame["version"] = 1
+        reason = validate_hello(frame, fingerprint=FP)
+        assert "version mismatch" in reason
+        assert "speaks 1" in reason
+        assert f"requires {PROTOCOL_VERSION}" in reason
+
+    def test_fingerprint_mismatch_names_both_prefixes(self):
+        frame = self._hello(fingerprint="a" * 64)
+        reason = validate_hello(frame, fingerprint="b" * 64)
+        assert "fingerprint mismatch" in reason
+        assert "a" * 12 in reason and "b" * 12 in reason
+
+    def test_missing_auth_refused_on_authenticated_transport(self):
+        frame = self._hello()  # no auth field at all
+        reason = validate_hello(frame, fingerprint=FP, secret="s3",
+                                nonce=new_nonce())
+        assert "authentication failed" in reason
+
+    def test_role_separation_blocks_reflection(self):
+        # A worker replaying the coordinator's own proof (or vice
+        # versa) must never authenticate the other direction.
+        nonce, peer = new_nonce(), new_nonce()
+        assert (auth_digest("s3", "worker", nonce, peer)
+                != auth_digest("s3", "coordinator", nonce, peer))
+        assert (auth_digest("s3", "worker", nonce, peer)
+                != auth_digest("s3", "status", nonce, peer))
+
+    def test_env_hooks_override_the_claim(self, monkeypatch):
+        monkeypatch.setenv(FINGERPRINT_ENV, "claimed-fp")
+        monkeypatch.setenv(VERSION_ENV, "1")
+        frame = hello_frame(FP)
+        assert frame["fingerprint"] == "claimed-fp"
+        assert frame["version"] == 1
 
 
 class TestRemoteErrors:

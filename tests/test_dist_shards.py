@@ -11,7 +11,15 @@ import pytest
 
 import dist_trials
 from repro.dist import execution
-from repro.dist.protocol import dump_frame, encode_value, parse_frame
+from repro.dist.protocol import (
+    FINGERPRINT_ENV,
+    HandshakeError,
+    PROTOCOL_VERSION,
+    VERSION_ENV,
+    dump_frame,
+    encode_value,
+    parse_frame,
+)
 from repro.dist.shards import ShardError, ShardsBackend, TIMEOUT_ENV
 from repro.exp.cache import canonicalize, stable_key
 from repro.exp.registry import get_experiment
@@ -43,7 +51,12 @@ class TestWorkerDaemon:
             {"op": "shutdown"},
         ])
         assert rc == 0
-        assert replies[0]["op"] == "hello" and replies[0]["version"] == 1
+        hello = replies[0]
+        assert hello["op"] == "hello"
+        assert hello["version"] == PROTOCOL_VERSION
+        # The hello carries the worker's source-tree fingerprint (the
+        # coordinator refuses the worker without a matching one).
+        assert len(hello["fingerprint"]) == 64
         result = next(f for f in replies if f.get("id") == "1:0")
         assert result["ok"] and result["result"] == {"j": 49}
         assert any(f.get("op") == "pong" and f.get("id") == "p1"
@@ -213,6 +226,49 @@ class TestCrashRecovery:
         assert any("requeueing" in m for m in messages)  # the recovery
         assert out == [11]
         assert backend.last_stats["timeouts"] == 1
+
+
+class TestLocalHandshake:
+    """Satellite of the fleet handshake: the *local* stdio path must
+    refuse a version/fingerprint-mismatched worker at spawn instead of
+    dispatching to it (the pre-fix coordinator skipped every hello)."""
+
+    def test_fingerprint_mismatch_refused_at_spawn(self, backend,
+                                                   monkeypatch):
+        # The spawned worker inherits the env and *claims* a skewed
+        # source fingerprint; the coordinator must refuse it, naming
+        # both fingerprints, before it runs a single trial.
+        monkeypatch.setenv(FINGERPRINT_ENV, "deadbeef")
+        with pytest.raises(HandshakeError) as info:
+            backend.run(dist_trials.square, [1], [None], workers=1)
+        message = str(info.value)
+        assert "fingerprint mismatch" in message
+        assert "deadbeef" in message
+
+    def test_version_mismatch_refused_at_spawn(self, backend,
+                                               monkeypatch):
+        monkeypatch.setenv(VERSION_ENV, "1")
+        with pytest.raises(HandshakeError) as info:
+            backend.run(dist_trials.square, [1], [None], workers=1)
+        message = str(info.value)
+        assert "version mismatch" in message
+        assert "speaks 1" in message
+        assert f"requires {PROTOCOL_VERSION}" in message
+
+    def test_handshake_error_is_not_swallowed_by_fallback(self,
+                                                          monkeypatch):
+        # map_trials falls back to serial only on BackendUnavailable;
+        # a refused local worker is a broken deployment and must fail
+        # the sweep loudly instead of silently simulating anyway.
+        from repro.dist import shutdown_backends
+
+        # Drop the process-wide singleton's already-validated fleet so
+        # this sweep must spawn (and refuse) fresh workers.
+        shutdown_backends()
+        monkeypatch.setenv(FINGERPRINT_ENV, "deadbeef")
+        with pytest.raises(HandshakeError):
+            map_trials(dist_trials.square, [1, 2], backend="shards",
+                       workers=2)
 
 
 class TestMapTrialsIntegration:

@@ -1,6 +1,7 @@
 """Tests for the content-addressed result cache."""
 
 import os
+from pathlib import Path
 
 import pytest
 
@@ -97,3 +98,80 @@ class TestResultCache:
         key = stable_key({"k": 3})
         path = cache.put(key, None)
         assert path.parent.name == key[:2]
+
+
+def _orphan_tmp(cache: ResultCache, key: str) -> Path:
+    """Plant the debris of a put() that died between write and rename."""
+    tmp = cache._path(key).with_name(f"{key}.pkl.tmp")
+    tmp.parent.mkdir(parents=True, exist_ok=True)
+    tmp.write_bytes(b"half-written")
+    return tmp
+
+
+class TestClearRace:
+    def test_clear_survives_an_entry_vanishing_mid_iteration(
+            self, tmp_path, monkeypatch):
+        """Regression: an unguarded ``path.unlink()`` crashed clear()
+        with OSError when a concurrent prune/clear removed an entry
+        first — and the survivor count must not include it."""
+        cache = ResultCache(tmp_path)
+        for i in range(3):
+            cache.put(stable_key({"i": i}), i)
+        victim = sorted(cache.directory.glob("*/*.pkl"))[0]
+        real_unlink = Path.unlink
+
+        def racing_unlink(self, *args, **kwargs):
+            if self == victim:
+                real_unlink(self)  # the concurrent remover won
+                raise FileNotFoundError(str(self))
+            return real_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", racing_unlink)
+        assert cache.clear() == 2  # the vanished entry is not counted
+        assert len(cache) == 0
+
+
+class TestTmpOrphans:
+    def test_stats_reports_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(stable_key({"k": 1}), [1, 2, 3])
+        _orphan_tmp(cache, "ab" + "0" * 62)
+        stats = cache.stats()
+        assert stats["entries"] == 1  # orphans are not entries
+        assert stats["tmp_files"] == 1
+        assert stats["tmp_bytes"] > 0
+
+    def test_clear_sweeps_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(stable_key({"k": 1}), 1)
+        tmp = _orphan_tmp(cache, "cd" + "0" * 62)
+        assert cache.clear() == 2  # the entry and the orphan
+        assert not tmp.exists()
+        assert cache.stats()["tmp_files"] == 0
+
+    def test_prune_sweeps_only_old_orphans(self, tmp_path):
+        import time
+
+        cache = ResultCache(tmp_path)
+        old = _orphan_tmp(cache, "ab" + "0" * 62)
+        stamp = time.time() - 7200
+        os.utime(old, (stamp, stamp))
+        fresh = _orphan_tmp(cache, "cd" + "0" * 62)
+        removed, freed = cache.prune(3600)
+        assert removed == 1 and freed > 0
+        assert not old.exists() and fresh.exists()
+
+    def test_failed_put_cleans_its_tmp_file(self, tmp_path,
+                                            monkeypatch):
+        cache = ResultCache(tmp_path)
+
+        def doomed_replace(self, target):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(Path, "replace", doomed_replace)
+        key = stable_key({"k": 9})
+        with pytest.raises(OSError, match="disk full"):
+            cache.put(key, {"big": "value"})
+        monkeypatch.undo()
+        assert key not in cache
+        assert cache.stats()["tmp_files"] == 0

@@ -39,6 +39,7 @@ class TestMetrics:
             "scenario_build_per_sec",
             "scenario_trial_seconds",
             "backend_dispatch_overhead_seconds",
+            "fleet_dispatch_overhead_seconds",
             "serve_cached_hit_latency_seconds",
             "serve_cached_requests_per_sec",
             "report_slice_seconds",
@@ -51,6 +52,7 @@ class TestMetrics:
         assert metrics["scenario_build_per_sec"] > 0
         assert metrics["scenario_trial_seconds"] > 0
         assert metrics["backend_dispatch_overhead_seconds"] > 0
+        assert metrics["fleet_dispatch_overhead_seconds"] > 0
         assert metrics["serve_cached_hit_latency_seconds"] > 0
         assert metrics["serve_cached_requests_per_sec"] > 0
 
