@@ -19,6 +19,10 @@ Subcommands::
                                           # dial into a TCP fleet
     python -m repro fleet listen --port 7641   # stand up a fleet hub
     python -m repro fleet status --connect HOST:PORT
+    python -m repro stats [--watch 2]     # scrape a server's /metrics
+    python -m repro trace record fig4 --backend shards --workers 4
+    python -m repro trace summary TRACE_fig4.ndjson
+    python -m repro trace export TRACE_fig4.ndjson  # Chrome trace JSON
 
 ``run`` and ``scenario run`` go through the on-disk result cache
 (``.repro-cache/`` or ``$REPRO_CACHE_DIR``); ``--no-cache`` forces a
@@ -596,15 +600,166 @@ def cmd_fleet_status(args) -> int:
     table = FigureTable(
         f"Connected workers ({len(workers)})",
         ["id", "transport", "version", "fingerprint", "in-flight",
-         "state"])
+         "trials", "state"])
     for worker in workers:
         state = ("ready" if worker.get("ready") else "handshaking"
                  ) if worker.get("alive") else "dead"
         table.add_row(worker.get("id"), worker.get("transport"),
                       worker.get("version"),
                       str(worker.get("fingerprint"))[:12],
-                      worker.get("in_flight"), state)
+                      worker.get("in_flight"),
+                      worker.get("trials_done", 0), state)
     print(table.to_text())
+    metrics_doc = doc.get("metrics")
+    if metrics_doc:
+        interesting = _metrics_rows(
+            metrics_doc, prefix=("repro_dist_", "repro_sweep_",
+                                 "repro_fleet_", "repro_engine_",
+                                 "repro_ff_"))
+        if interesting:
+            table = FigureTable("Coordinator telemetry",
+                                ["metric", "labels", "value"])
+            for row in interesting:
+                table.add_row(*row)
+            print(table.to_text())
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Telemetry subcommands: stats + trace
+# ----------------------------------------------------------------------
+def _metrics_rows(metrics_doc: dict, *, prefix=None) -> list[tuple]:
+    """Flatten a registry snapshot document into table rows."""
+    rows: list[tuple] = []
+    for name in sorted(metrics_doc):
+        if prefix is not None and not name.startswith(prefix):
+            continue
+        for sample in metrics_doc[name].get("samples", []):
+            labels = sample.get("labels") or {}
+            label_text = ",".join(f"{k}={v}" for k, v in
+                                  sorted(labels.items())) or "-"
+            value = sample.get("value", 0)
+            if isinstance(value, float) and value == int(value):
+                value = int(value)
+            rows.append((name, label_text, value))
+    return rows
+
+
+def _fetch_metrics(target: str) -> dict:
+    """Scrape a running server's registry as the JSON snapshot."""
+    import urllib.request
+
+    from repro.dist.net import parse_hostport
+
+    host, port = parse_hostport(target)
+    url = f"http://{host}:{port}/metrics?format=json"
+    with urllib.request.urlopen(url, timeout=10.0) as response:
+        doc = json.loads(response.read().decode("utf-8"))
+    return doc.get("metrics", {})
+
+
+def cmd_stats(args) -> int:
+    import time as time_mod
+
+    prefix = tuple(args.prefix) if args.prefix else None
+    while True:
+        try:
+            metrics_doc = _fetch_metrics(args.connect)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot scrape {args.connect}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.json:
+            if prefix is not None:
+                metrics_doc = {k: v for k, v in metrics_doc.items()
+                               if k.startswith(prefix)}
+            print(json.dumps(metrics_doc, indent=1, sort_keys=True))
+        else:
+            rows = _metrics_rows(metrics_doc, prefix=prefix)
+            table = FigureTable(
+                f"Telemetry of {args.connect} ({len(rows)} series)",
+                ["metric", "labels", "value"])
+            for row in rows:
+                table.add_row(*row)
+            print(table.to_text())
+        if not args.watch:
+            return 0
+        time_mod.sleep(args.watch)
+        print()
+
+
+def cmd_trace_record(args) -> int:
+    from repro.dist import BackendError
+    from repro.obs import trace
+
+    params = dict(args.param or [])
+    out = args.out or f"TRACE_{args.experiment}.ndjson"
+    try:
+        trace.start(out)
+    except OSError as exc:
+        print(f"error: cannot write trace to {out!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        with _execution(args), _gc_paused():
+            run = run_experiment(
+                args.experiment, params, workers=args.workers,
+                seed=args.seed, use_cache=not args.no_cache,
+                cache_dir=args.cache_dir)
+    except (RegistryError, ExperimentParamError, BackendError) as exc:
+        trace.stop()
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    events = trace.stop()
+    summary = trace.summarize(events)
+    if run.cached:
+        print(f"note: [{run.name}] was a result-cache hit — no trials "
+              "ran, so the trace has no sweep; rerun with --no-cache "
+              "to record one", file=sys.stderr)
+    print(json.dumps(summary, indent=1, sort_keys=True))
+    print(f"trace written to {out} ({summary['events']} events)",
+          file=sys.stderr)
+    return 0
+
+
+def _load_trace(path: str):
+    from repro.obs import trace
+
+    try:
+        return trace.load_ndjson(path)
+    except OSError as exc:
+        print(f"error: cannot read trace {path!r}: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def cmd_trace_summary(args) -> int:
+    from repro.obs import trace
+
+    events = _load_trace(args.trace)
+    if events is None:
+        return 2
+    print(json.dumps(trace.summarize(events), indent=1, sort_keys=True))
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    from repro.obs import trace
+
+    events = _load_trace(args.trace)
+    if events is None:
+        return 2
+    doc = trace.chrome_trace(events)
+    base = args.trace
+    if base.endswith(".ndjson"):
+        base = base[:-len(".ndjson")]
+    out = args.out or f"{base}.chrome.json"
+    with open(out, "w") as handle:
+        json.dump(doc, handle, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {out} ({len(doc['traceEvents'])} trace events); "
+          "open it in about://tracing or https://ui.perfetto.dev",
+          file=sys.stderr)
     return 0
 
 
@@ -967,6 +1122,61 @@ def build_parser() -> argparse.ArgumentParser:
                           help="with --connect: retry the initial "
                                "connection this long (default: 60)")
     p_worker.set_defaults(func=cmd_worker)
+
+    p_stats = sub.add_parser(
+        "stats", help="scrape a running `repro serve` instance's "
+                      "telemetry registry (GET /metrics)")
+    p_stats.add_argument("--connect", metavar="HOST:PORT",
+                         default="127.0.0.1:8123",
+                         help="server to scrape (default: 127.0.0.1:8123)")
+    p_stats.add_argument("--json", action="store_true",
+                         help="print the raw registry snapshot")
+    p_stats.add_argument("--prefix", action="append", default=None,
+                         metavar="PREFIX",
+                         help="only metric families starting with this "
+                              "prefix (repeatable)")
+    p_stats.add_argument("--watch", type=float, default=None,
+                         metavar="SECONDS",
+                         help="re-scrape and re-render every SECONDS "
+                              "until interrupted")
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_trace = sub.add_parser(
+        "trace", help="record and inspect trial-lifecycle traces "
+                      "(queued -> dispatched -> running -> done)")
+    trace_sub = p_trace.add_subparsers(dest="trace_command",
+                                       required=True)
+    t_record = trace_sub.add_parser(
+        "record", help="run one experiment with lifecycle tracing on; "
+                       "writes an NDJSON event stream")
+    t_record.add_argument("experiment", metavar="NAME",
+                          help="experiment name (see `list`)")
+    _add_execution_options(t_record)
+    t_record.add_argument("--seed", type=int, default=None,
+                          help="override the experiment seed")
+    t_record.add_argument("-p", "--param", action="append",
+                          type=_parse_param, metavar="KEY=VALUE",
+                          help="driver parameter override (JSON value)")
+    t_record.add_argument("--out", metavar="PATH", default=None,
+                          help="trace output path (default: "
+                               "TRACE_<name>.ndjson)")
+    t_record.set_defaults(func=cmd_trace_record)
+    t_summary = trace_sub.add_parser(
+        "summary", help="per-sweep rollup of a recorded trace: trials, "
+                        "requeues, attempts, latency stats")
+    t_summary.add_argument("trace", metavar="TRACE.ndjson",
+                           help="NDJSON trace from `trace record` or "
+                                "REPRO_TRACE=PATH")
+    t_summary.set_defaults(func=cmd_trace_summary)
+    t_export = trace_sub.add_parser(
+        "export", help="convert a recorded trace to Chrome trace-event "
+                       "JSON (about://tracing, Perfetto)")
+    t_export.add_argument("trace", metavar="TRACE.ndjson",
+                          help="NDJSON trace to convert")
+    t_export.add_argument("--out", metavar="PATH", default=None,
+                          help="output path (default: "
+                               "<trace>.chrome.json)")
+    t_export.set_defaults(func=cmd_trace_export)
 
     p_fleet = sub.add_parser(
         "fleet", help="TCP worker-fleet tools: stand up a listener and "

@@ -48,6 +48,40 @@ from repro.dist.protocol import (
     parse_frame,
     validate_hello,
 )
+from repro.obs.metrics import REGISTRY as _METRICS
+
+_CONNECTS = _METRICS.counter(
+    "repro_fleet_connects_total",
+    "Remote workers that completed the handshake and joined")
+_DISCONNECTS = _METRICS.counter(
+    "repro_fleet_disconnects_total",
+    "Remote worker connections that ended (EOF, kill, or drop)")
+_REFUSALS = _METRICS.counter(
+    "repro_fleet_refusals_total",
+    "Handshakes refused, by mismatch class")
+_FRAMES_RX = _METRICS.counter(
+    "repro_fleet_frames_received_total",
+    "Frames read from remote workers")
+_FRAMES_TX = _METRICS.counter(
+    "repro_fleet_frames_sent_total", "Frames written to remote workers")
+_BYTES_RX = _METRICS.counter(
+    "repro_fleet_bytes_received_total",
+    "Protocol bytes read from remote workers")
+_BYTES_TX = _METRICS.counter(
+    "repro_fleet_bytes_sent_total",
+    "Protocol bytes written to remote workers")
+
+
+def _refusal_class(reason: str) -> str:
+    """Bucket a refusal diagnostic into a low-cardinality label."""
+    text = reason.lower()
+    if "auth" in text or "secret" in text:
+        return "auth"
+    if "version" in text:
+        return "version"
+    if "fingerprint" in text:
+        return "fingerprint"
+    return "protocol"
 
 #: Seconds an accepted connection gets to complete the handshake.
 HANDSHAKE_TIMEOUT = 10.0
@@ -115,6 +149,7 @@ class RemoteShard:
         self.id = f"tcp:{self.addr}:pid{self.pid}"
         self.depth = 0
         self.ready = True
+        self.trials_done = 0
         self._reader = threading.Thread(
             target=self._read_loop, args=(outq,), daemon=True,
             name=f"repro-{self.id}-reader")
@@ -123,12 +158,15 @@ class RemoteShard:
     def _read_loop(self, outq: queue.Queue) -> None:
         try:
             for line in self._rfile:
+                _BYTES_RX.inc(len(line))
                 frame = parse_frame(line)
                 if frame is not None:
+                    _FRAMES_RX.inc()
                     outq.put(("frame", self, frame))
         except (OSError, ValueError):  # pragma: no cover - teardown race
             pass
         self._dead = True
+        _DISCONNECTS.inc()
         outq.put(("eof", self, None))
 
     @property
@@ -140,9 +178,12 @@ class RemoteShard:
 
     def send_many(self, frames: list[dict]) -> bool:
         try:
+            block = "".join(map(dump_frame, frames))
             with self._lock:
-                self._wfile.write("".join(map(dump_frame, frames)))
+                self._wfile.write(block)
                 self._wfile.flush()
+            _FRAMES_TX.inc(len(frames))
+            _BYTES_TX.inc(len(block))
             return True
         except (OSError, ValueError):
             return False
@@ -184,7 +225,7 @@ class FleetServer:
 
     def __init__(self, host: str, port: int, *, secret: str,
                  fingerprint: str, fleet: list, outq: queue.Queue,
-                 on_event=None) -> None:
+                 on_event=None, metrics_source=None) -> None:
         if not secret:
             raise ValueError(
                 "a fleet listener requires a shared secret "
@@ -194,6 +235,10 @@ class FleetServer:
         self._fleet = fleet
         self._outq = outq
         self._on_event = on_event or (lambda kind, detail: None)
+        #: Optional ``() -> dict`` snapshot of the coordinator's
+        #: metrics registry, embedded in :meth:`status_doc` so
+        #: ``repro fleet status --json`` aggregates telemetry too.
+        self._metrics_source = metrics_source
         self._closed = False
         self.refused_count = 0
         self.last_refusal: str | None = None
@@ -252,6 +297,7 @@ class FleetServer:
             conn.settimeout(None)
             shard = RemoteShard(conn, rfile, wfile, addr, frame,
                                 self._outq)
+            _CONNECTS.inc()
             self._fleet.append(shard)
             self._outq.put(("join", shard, None))
             self._on_event("joined",
@@ -266,6 +312,7 @@ class FleetServer:
     def _refuse(self, conn, wfile, addr, reason: str) -> None:
         self.refused_count += 1
         self.last_refusal = reason
+        _REFUSALS.inc(reason=_refusal_class(reason))
         self._on_event("refused", f"{addr[0]}:{addr[1]}: {reason}")
         try:
             wfile.write(dump_frame({"op": "refused", "error": reason}))
@@ -310,8 +357,9 @@ class FleetServer:
                 "ready": shard.ready,
                 "alive": shard.alive,
                 "in_flight": shard.depth,
+                "trials_done": getattr(shard, "trials_done", 0),
             })
-        return {
+        doc = {
             "listen": self.address,
             "protocol_version": PROTOCOL_VERSION,
             "fingerprint": self._fingerprint,
@@ -319,6 +367,12 @@ class FleetServer:
             "refused_count": self.refused_count,
             "last_refusal": self.last_refusal,
         }
+        if self._metrics_source is not None:
+            try:
+                doc["metrics"] = self._metrics_source()
+            except Exception:  # noqa: BLE001 - status must still serve
+                pass
+        return doc
 
     def close(self) -> None:
         self._closed = True

@@ -6,6 +6,11 @@ per-trial cache).  :class:`SweepProgress` renders that as::
 
     17/44 trials (cache: 12 hits)
 
+and, when a distributed sweep is underway (live workers or requeues in
+the telemetry registry)::
+
+    17/44 trials (cache: 12 hits, workers: 4, requeues: 1)
+
 rewriting the same line in place.  :func:`tty_progress` hands one out
 only when stderr is an interactive terminal — piped/CI output never
 sees control characters.
@@ -14,6 +19,8 @@ sees control characters.
 from __future__ import annotations
 
 import sys
+
+from repro.obs import metrics as _metrics
 
 
 class SweepProgress:
@@ -26,7 +33,11 @@ class SweepProgress:
     def __call__(self, done: int, total: int, cache_hits: int) -> None:
         if total <= 0:
             return
-        line = f"{done}/{total} trials (cache: {cache_hits} hits)"
+        line = f"{done}/{total} trials (cache: {cache_hits} hits"
+        workers, requeues = _metrics.sweep_live()
+        if workers or requeues:
+            line += f", workers: {workers}, requeues: {requeues}"
+        line += ")"
         self.stream.write(f"\r{line}\x1b[K")
         self.stream.flush()
         self._active = True

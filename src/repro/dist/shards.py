@@ -92,6 +92,47 @@ from repro.dist.protocol import (
     task_frame,
     validate_hello,
 )
+from repro.obs import trace as _trace
+from repro.obs.metrics import REGISTRY as _METRICS
+
+# Coordinator telemetry (process totals; repro_sweep_* gauges reset at
+# the start of each run() so they describe the current sweep only).
+_DISPATCHED = _METRICS.counter(
+    "repro_dist_tasks_dispatched_total",
+    "Task frames handed to workers (requeued attempts re-count)")
+_REQUEUES = _METRICS.counter(
+    "repro_dist_requeues_total",
+    "Head tasks requeued after a worker crash or timeout kill")
+_CRASHES = _METRICS.counter(
+    "repro_dist_crashes_total",
+    "Workers that died with tasks in flight")
+_TIMEOUTS = _METRICS.counter(
+    "repro_dist_timeouts_total",
+    "Workers killed for exceeding the per-trial timeout")
+_WORKER_TRIALS = _METRICS.counter(
+    "repro_dist_worker_trials_total", "Trials completed, per worker")
+_ROUNDTRIP = _METRICS.histogram(
+    "repro_dist_task_roundtrip_seconds",
+    "Dispatch-to-result wall latency per task (includes pipeline "
+    "queueing inside the worker)")
+_QUEUE_DEPTH = _METRICS.gauge(
+    "repro_dist_queue_depth",
+    "Trials of the current sweep not yet handed to a worker")
+_WORKERS_ACTIVE = _METRICS.gauge(
+    "repro_dist_workers_active", "Workers with tasks in flight")
+_SWEEP_GAUGES = {
+    key: _METRICS.gauge(f"repro_sweep_{key}",
+                        f"Current sweep: {help_text}")
+    for key, help_text in (
+        ("requeues", "crash/timeout requeues"),
+        ("crashes", "worker crashes"),
+        ("timeouts", "per-trial timeout kills"),
+        ("workers_used", "distinct workers that ran a trial"),
+        ("ff_jumps", "fast-forward jumps absorbed from workers"),
+        ("ff_cycles", "fast-forward jumped cycles absorbed"),
+        ("ff_samples", "fast-forward synthesized samples absorbed"),
+        ("ff_joint_jumps", "joint fast-forward jumps absorbed"),
+    )}
 
 #: Per-trial wall-clock budget in seconds (float; unset/0 disables).
 TIMEOUT_ENV = "REPRO_SHARD_TIMEOUT"
@@ -158,6 +199,8 @@ class _Shard:
         #: sweep aborted by a trial error can leave a worker finishing
         #: stale tasks; the count drains as their frames arrive).
         self.depth = 0
+        #: Trials completed over this worker's lifetime (telemetry).
+        self.trials_done = 0
         #: No dispatch until the hello handshake validates (version +
         #: source fingerprint must match the coordinator's).
         self.ready = False
@@ -266,7 +309,8 @@ class ShardsBackend(Backend):
                 self.server = FleetServer(
                     host, port, secret=self._secret,
                     fingerprint=self._expected_fingerprint(),
-                    fleet=self._fleet, outq=self._outq)
+                    fleet=self._fleet, outq=self._outq,
+                    metrics_source=_METRICS.snapshot)
             except OSError as exc:
                 raise BackendError(
                     f"cannot listen on {listen!r}: {exc}") from exc
@@ -342,9 +386,22 @@ class ShardsBackend(Backend):
         used: set[str] = set()
         stats = {"crashes": 0, "retries": 0, "timeouts": 0,
                  "workers_used": 0, "remote_workers_used": 0,
+                 "worker_trials": {},
                  "ff_totals": {k: 0 for k in fastforward.totals()}}
         self.last_stats = stats
         completed = 0
+        # Per-sweep telemetry baseline: the repro_sweep_* gauges
+        # describe *this* run() only, so they reset here rather than
+        # accumulate across sweeps (the repro_dist_* counters are the
+        # process-lifetime totals).
+        for gauge in _SWEEP_GAUGES.values():
+            gauge.set(0)
+        _QUEUE_DEPTH.set(n)
+        _WORKERS_ACTIVE.set(0)
+        #: Dispatch timestamps of in-flight tasks (monotonic), for the
+        #: roundtrip histogram; dropped on requeue so a retried task
+        #: times its final attempt only.
+        send_ts: dict[int, float] = {}
         #: Consecutive deaths of never-validated workers (see
         #: MAX_HANDSHAKE_DEATHS); reset by any successful hello.
         handshake_deaths = 0
@@ -355,11 +412,18 @@ class ShardsBackend(Backend):
         def requeue_from(shard: _Shard, why: str) -> None:
             entries = inflight.pop(shard)
             deadlines.pop(shard, None)
+            _WORKERS_ACTIVE.set(len(inflight))
             head = entries.popleft()
             # Queued mates never started: back to the front of the
             # queue, no blame, no retry charged.
             for mate in reversed(entries):
                 pending.appendleft(mate)
+                send_ts.pop(mate, None)
+                if _trace.active():
+                    _trace.emit("requeued", _trace.trial_label(mate),
+                                worker=shard.id, attempt=attempts[mate],
+                                why="mate")
+            send_ts.pop(head, None)
             attempts[head] += 1
             excluded[head].add(shard.id)
             if attempts[head] > MAX_RETRIES:
@@ -368,12 +432,19 @@ class ShardsBackend(Backend):
                     f"time(s) (last worker {shard.id}); giving up after "
                     f"{MAX_RETRIES} retries")
             stats["retries"] += 1
+            _REQUEUES.inc()
+            _SWEEP_GAUGES["requeues"].inc()
+            if _trace.active():
+                _trace.emit("requeued", _trace.trial_label(head),
+                            worker=shard.id, attempt=attempts[head],
+                            why=why)
             warnings.warn(
                 f"shards: worker {shard.id} {why} on point {head}; "
                 f"requeueing on another worker "
                 f"(attempt {attempts[head] + 1}/{MAX_RETRIES + 1})",
                 RuntimeWarning, stacklevel=4)
             pending.appendleft(head)
+            _QUEUE_DEPTH.set(len(pending))
 
         while completed < n:
             # Fill every worker's pipeline with the first jobs it is
@@ -415,8 +486,21 @@ class ShardsBackend(Backend):
                     entries = inflight[shard] = deque()
                 entries.extend(picked)
                 shard.depth += len(picked)
+                sent_at = time.monotonic()
+                for pick in picked:
+                    send_ts[pick] = sent_at
+                _DISPATCHED.inc(len(picked))
+                _QUEUE_DEPTH.set(len(pending))
+                _WORKERS_ACTIVE.set(len(inflight))
+                if _trace.active():
+                    for pick in picked:
+                        _trace.emit("dispatched",
+                                    _trace.trial_label(pick),
+                                    worker=shard.id,
+                                    attempt=attempts[pick] + 1)
                 used.add(shard.id)
                 stats["workers_used"] = len(used)
+                _SWEEP_GAUGES["workers_used"].set(len(used))
                 if shard.remote:
                     stats["remote_workers_used"] = sum(
                         1 for wid in used if wid.startswith("tcp:"))
@@ -479,6 +563,8 @@ class ShardsBackend(Backend):
                 for straggler, deadline in list(deadlines.items()):
                     if now >= deadline:
                         stats["timeouts"] += 1
+                        _TIMEOUTS.inc()
+                        _SWEEP_GAUGES["timeouts"].inc()
                         warnings.warn(
                             f"shards: worker {straggler.id} exceeded "
                             f"the {timeout:g}s per-trial timeout on "
@@ -517,6 +603,8 @@ class ShardsBackend(Backend):
                             f"{shard.death_detail()})")
                 if shard in inflight:
                     stats["crashes"] += 1
+                    _CRASHES.inc()
+                    _SWEEP_GAUGES["crashes"].inc()
                     requeue_from(
                         shard,
                         f"died ({shard.death_detail()}) running")
@@ -580,10 +668,25 @@ class ShardsBackend(Backend):
                 else:
                     del inflight[shard]
                     deadlines.pop(shard, None)
+                    _WORKERS_ACTIVE.set(len(inflight))
             if results[index] is not _UNSET:
                 continue  # duplicate (e.g. raced with a timeout kill)
             if not frame.get("ok"):
                 raise_remote(frame)
+            sent_at = send_ts.pop(index, None)
+            if sent_at is not None:
+                _ROUNDTRIP.observe(time.monotonic() - sent_at)
+            shard.trials_done += 1
+            _WORKER_TRIALS.inc(worker=shard.id)
+            stats["worker_trials"][shard.id] = (
+                stats["worker_trials"].get(shard.id, 0) + 1)
+            if _trace.active():
+                span = frame.get("span")
+                label = _trace.trial_label(index)
+                if (isinstance(span, (list, tuple)) and len(span) == 2):
+                    _trace.emit("running", label, worker=shard.id,
+                                attempt=attempts[index] + 1,
+                                start=span[0], end=span[1])
             worker_totals = frame.get("ff_totals")
             if worker_totals:
                 fastforward.absorb_totals(worker_totals)
@@ -594,10 +697,23 @@ class ShardsBackend(Backend):
                 for key, value in worker_totals.items():
                     if key in sweep_totals:
                         sweep_totals[key] += value
+                        gauge = _SWEEP_GAUGES.get(f"ff_{key}")
+                        if gauge is not None:
+                            gauge.set(sweep_totals[key])
+            counters = frame.get("m")
+            if counters:
+                # Fold the worker's engine-event delta into this
+                # process's totals so the registry's engine collector
+                # sees sharded work too.
+                from repro.sim import engine
+
+                engine.absorb_counters(counters)
             value = decode_value(frame["result"])
             results[index] = value
             completed += 1
             if on_result is not None:
                 on_result(index, value)
 
+        _QUEUE_DEPTH.set(0)
+        _WORKERS_ACTIVE.set(0)
         return results

@@ -53,6 +53,7 @@ import argparse
 import gc
 import os
 import sys
+import time
 import traceback
 
 from repro.dist.base import IN_WORKER_ENV
@@ -100,30 +101,43 @@ def _claim_protocol_stream():
 
 
 def _run_task(frame: dict) -> dict:
-    from repro.sim import fastforward
+    from repro.sim import engine, fastforward
 
     from repro.dist.protocol import encode_value
 
     task_id = frame.get("id", "?")
     before = fastforward.totals()
+    before_ev = engine.global_counters()
+    started = time.time()
     try:
         fn = resolve_fn(frame["fn"])
         point = decode_value(frame["point"])
         seed = frame.get("seed")
         with fastforward.forced(frame.get("ff")):
             value = fn(point) if seed is None else fn(point, seed)
+        ended = time.time()
         # Encoding inside the try: a result that is neither JSON-exact
         # nor picklable is a *trial* failure frame, not a daemon death.
         encoded = encode_value(value)
     except Exception as exc:
         return error_frame(task_id, exc, traceback.format_exc())
-    reply = {"id": task_id, "ok": True, "result": encoded}
+    # The execution span (wall clock) and this trial's engine-counter
+    # delta ride home with the result; the coordinator stitches the
+    # span into the lifecycle trace and absorbs the counters into its
+    # own telemetry registry.  Old coordinators ignore the extra keys.
+    reply = {"id": task_id, "ok": True, "result": encoded,
+             "span": [started, ended]}
     after = fastforward.totals()
     delta = {k: after[k] - before[k] for k in after if after[k] != before[k]}
     if delta:
         # Engagement evidence rides home with the result (see
         # fastforward.absorb_totals).
         reply["ff_totals"] = delta
+    after_ev = engine.global_counters()
+    ev_delta = {k: after_ev[k] - before_ev[k] for k in after_ev
+                if after_ev[k] != before_ev[k]}
+    if ev_delta:
+        reply["m"] = ev_delta
     return reply
 
 

@@ -23,6 +23,22 @@ import pickle
 import time
 from pathlib import Path
 
+from repro.obs.metrics import REGISTRY as _METRICS
+
+_HITS = _METRICS.counter(
+    "repro_cache_hits_total", "Result-cache lookups served from disk")
+_MISSES = _METRICS.counter(
+    "repro_cache_misses_total",
+    "Result-cache lookups that missed (or hit a corrupt entry)")
+_PUTS = _METRICS.counter(
+    "repro_cache_puts_total", "Result-cache entries written")
+_PUT_BYTES = _METRICS.counter(
+    "repro_cache_put_bytes_total",
+    "Pickled bytes written into the result cache")
+_ORPHANS = _METRICS.counter(
+    "repro_cache_tmp_orphans_swept_total",
+    "Orphaned .pkl.tmp files removed by prune/clear")
+
 #: Default cache directory (relative to the working directory).
 DEFAULT_CACHE_DIR = ".repro-cache"
 
@@ -140,6 +156,7 @@ class ResultCache:
         path = self._path(key)
         if not path.is_file():
             self.miss_count += 1
+            _MISSES.inc()
             return False, None
         try:
             value = pickle.loads(path.read_bytes())
@@ -149,8 +166,10 @@ class ResultCache:
             except OSError:
                 pass
             self.miss_count += 1
+            _MISSES.inc()
             return False, None
         self.hit_count += 1
+        _HITS.inc()
         return True, value
 
     def put(self, key: str, value: object) -> Path:
@@ -159,9 +178,9 @@ class ResultCache:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         tmp = path.with_name(path.name + ".tmp")
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         try:
-            tmp.write_bytes(
-                pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL))
+            tmp.write_bytes(payload)
             tmp.replace(path)
         except BaseException:
             # A failed write must not leave a half-written .tmp behind
@@ -172,6 +191,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        _PUTS.inc()
+        _PUT_BYTES.inc(len(payload))
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -252,6 +273,7 @@ class ResultCache:
             now = time.time()
         removed = 0
         freed = 0
+        orphans = 0
         candidates = list(self.entries()) + list(self._tmp_files())
         for path, stat in candidates:
             if now - stat.st_mtime <= older_than_s:
@@ -262,6 +284,10 @@ class ResultCache:
                 continue
             removed += 1
             freed += stat.st_size
+            if path.name.endswith(".pkl.tmp"):
+                orphans += 1
+        if orphans:
+            _ORPHANS.inc(orphans)
         self._remove_empty_shards()
         return removed, freed
 
@@ -271,6 +297,7 @@ class ResultCache:
         mid-iteration (a concurrent prune/clear) is skipped, not a
         crash — and not counted as removed by *this* call."""
         removed = 0
+        orphans = 0
         if self.directory.is_dir():
             doomed = list(self.directory.glob("*/*.pkl"))
             doomed.extend(self.directory.glob("*/*.pkl.tmp"))
@@ -280,6 +307,10 @@ class ResultCache:
                 except OSError:
                     continue
                 removed += 1
+                if path.name.endswith(".pkl.tmp"):
+                    orphans += 1
+        if orphans:
+            _ORPHANS.inc(orphans)
         self._remove_empty_shards()
         return removed
 

@@ -38,6 +38,7 @@ from repro.dist import (
 )
 from repro.exp.cache import ResultCache, code_fingerprint, stable_key
 from repro.exp.registry import ExperimentSpec, get_experiment
+from repro.obs import trace as _trace
 
 #: Process-local count of trial executions (parallel trials are counted
 #: in the parent as their results arrive).  Tests use the delta around a
@@ -162,6 +163,19 @@ def map_trials(fn: Callable, points: Iterable, *,
     todo = [i for i in range(n) if results[i] is _UNSET]
     if progress is not None and n:
         progress(n - len(todo), n, hits)
+
+    # Lifecycle tracing: one sweep id per map_trials call; trial ids
+    # are "<sweep>:<point index>" so backend-local indices stitch back
+    # (dispatched/requeued/running events come from the coordinator,
+    # which runs synchronously inside dispatch() below).
+    sweep = _trace.new_sweep_id() if _trace.active() else None
+    if sweep is not None:
+        for i in range(n):
+            if results[i] is _UNSET:
+                _trace.emit("queued", f"{sweep}:{i}",
+                            key=keys[i][:12] if keys[i] else None)
+            else:
+                _trace.emit("cached", f"{sweep}:{i}")
     if not todo:
         return results
 
@@ -178,14 +192,18 @@ def map_trials(fn: Callable, points: Iterable, *,
         done += 1
         if trial_cache is not None and keys[i] is not None:
             trial_cache.put(keys[i], value)
+        if sweep is not None:
+            _trace.emit("completed", f"{sweep}:{i}")
         if progress is not None:
             progress(done, n, hits)
 
     def dispatch(backend_name: str, indices: list[int]) -> None:
-        out = get_backend(backend_name).run(
-            fn, [points[i] for i in indices], [seeds[i] for i in indices],
-            workers=workers,
-            on_result=lambda j, value: land(indices[j], value))
+        with _trace.sweep_scope(lambda j: f"{sweep}:{indices[j]}"):
+            out = get_backend(backend_name).run(
+                fn, [points[i] for i in indices],
+                [seeds[i] for i in indices],
+                workers=workers,
+                on_result=lambda j, value: land(indices[j], value))
         # land() is idempotent; re-landing from the returned list covers
         # any backend that does not stream.
         for j, i in enumerate(indices):

@@ -1,0 +1,27 @@
+"""Unified telemetry: a process-wide metrics registry plus
+trial-lifecycle tracing.
+
+Two halves, both stdlib-only and both safe to leave on:
+
+:mod:`repro.obs.metrics`
+    Counters, gauges, and bucketed histograms in one process-wide
+    registry, instrumented into the engine, the result cache, the dist
+    coordinator, the TCP fleet, and the serve subsystem.  Exposed as
+    Prometheus text on ``GET /metrics``, as a JSON snapshot for
+    ``repro stats``, and aggregated into ``repro fleet status --json``.
+
+:mod:`repro.obs.trace`
+    Trial-lifecycle trace spans (queued -> dispatched -> running ->
+    completed/requeued -> cached) recorded as NDJSON events, with
+    worker-side execution spans shipped home over the frame protocol,
+    plus a Chrome trace-event export (``repro trace export``) that
+    opens directly in ``about://tracing`` / Perfetto.
+
+Neither half ever touches simulated state: metrics sample existing
+deterministic counters, and trace events carry wall-clock timestamps
+only, so bit-identity (diffcheck) is unaffected by either.
+"""
+
+from repro.obs import metrics, trace
+
+__all__ = ["metrics", "trace"]

@@ -463,6 +463,34 @@ def _collect_metrics_inner(config, metrics, log):
     metrics["serve_cached_hit_latency_seconds"] = round(latency, 5)
     metrics["serve_cached_requests_per_sec"] = round(rate)
 
+    log("telemetry: engine overhead canary (registry off vs on) ...")
+    # The engine instrumentation publishes to the process-wide
+    # registry only at run() exit, so toggling telemetry must not
+    # move the dispatch rate.  Anything past the noise floor means a
+    # per-event cost crept into the hot loop.
+    from repro.obs import metrics as obs_metrics
+    canary_repeats = max(5, config.repeats)
+    was_enabled = obs_metrics.enabled()
+    off_rate = on_rate = 0.0
+    try:
+        # Interleave the two states (alternating order) so frequency
+        # scaling / scheduler drift lands on both sides equally; a
+        # sequential A*N-then-B*N layout reads drift as "overhead".
+        for i in range(canary_repeats):
+            order = (False, True) if i % 2 == 0 else (True, False)
+            for state in order:
+                obs_metrics.set_enabled(state)
+                rate = _bench_engine(config.engine_events)
+                if state:
+                    on_rate = max(on_rate, rate)
+                else:
+                    off_rate = max(off_rate, rate)
+    finally:
+        obs_metrics.set_enabled(was_enabled)
+    overhead_pct = max(0.0, (off_rate - on_rate) / off_rate * 100.0)
+    metrics["telemetry_engine_overhead_pct"] = round(overhead_pct, 2)
+    metrics["telemetry_overhead_canary_ok"] = overhead_pct <= 2.0
+
     log("report slice: fig3 (no cache) ...")
     times = _best(_bench_report_slice, config.repeats)
     metrics["report_slice_seconds"] = round(min(times), 4)
@@ -519,6 +547,20 @@ def compare(current: dict, previous: dict) -> dict:
     return out
 
 
+def metric_set_diff(current: dict, previous: dict) -> dict:
+    """Metric names present in only one of two BENCH docs.
+
+    :func:`compare` silently skips metrics missing from either side
+    (and tests pin that behaviour), so a comparison between two runs
+    with disjoint metric sets looks deceptively empty.  This reports
+    what the ratio table cannot: ``added`` names exist only in
+    ``current``, ``removed`` only in ``previous``.
+    """
+    cur = set(current.get("metrics", {}))
+    prev = set(previous.get("metrics", {}))
+    return {"added": sorted(cur - prev), "removed": sorted(prev - cur)}
+
+
 def run_bench(*, quick: bool = False, label: str | None = None,
               out_dir: str | os.PathLike | None = None,
               no_compare: bool = False,
@@ -554,6 +596,7 @@ def run_bench(*, quick: bool = False, label: str | None = None,
                 "against": previous.name,
                 "previous_label": prev_doc.get("label"),
                 "ratios": compare(doc, prev_doc),
+                **metric_set_diff(doc, prev_doc),
             }
 
     out_path = root / f"{BENCH_PREFIX}{doc['timestamp']}.json"

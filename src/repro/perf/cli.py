@@ -38,14 +38,26 @@ def render(doc: dict) -> str:
         for key, entry in sorted(comparison["ratios"].items()):
             lines.append(f"{key:40s} {entry['speedup']:6.2f}x "
                          f"(was {entry['previous']})")
+        lines.extend(_set_diff_lines(comparison))
     return "\n".join(lines)
+
+
+def _set_diff_lines(diff: dict) -> list[str]:
+    """Render the added/removed metric names of a comparison block."""
+    lines = []
+    for verb, names in (("added", diff.get("added")),
+                        ("removed", diff.get("removed"))):
+        if names:
+            lines.append(f"metrics {verb} since the baseline: "
+                         + ", ".join(names))
+    return lines
 
 
 def render_comparison(old_path: str, new_path: str) -> str:
     """Ratio table between two committed BENCH files (NEW vs OLD)."""
     import json
 
-    from repro.perf.bench import compare
+    from repro.perf.bench import compare, metric_set_diff
 
     with open(old_path) as handle:
         old_doc = json.load(handle)
@@ -64,6 +76,10 @@ def render_comparison(old_path: str, new_path: str) -> str:
         now = new_doc["metrics"].get(key)
         lines.append(f"{key:40s} {entry['speedup']:6.2f}x "
                      f"(was {entry['previous']}, now {now})")
+    diff = metric_set_diff(new_doc, old_doc)
+    if not ratios and not diff["added"] and not diff["removed"]:
+        lines.append("(no comparable metrics)")
+    lines.extend(_set_diff_lines(diff))
     return "\n".join(lines)
 
 

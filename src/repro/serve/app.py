@@ -11,6 +11,7 @@ invocation.
 method   path                                behaviour
 =======  ==================================  ==============================
 GET      /healthz                            liveness + job counts
+GET      /metrics                            Prometheus text (?format=json)
 GET      /v1/cache/stats                     result-cache statistics
 GET      /v1/experiments                     registry catalog
 POST     /v1/experiments/{name}              run by name (hit=200, miss=202)
@@ -31,6 +32,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 
 from repro.exp.cache import canonical_checksum, canonicalize
 from repro.exp.registry import RegistryError, all_experiments
@@ -50,12 +52,45 @@ from repro.serve.http import (
     StreamResponse,
     json_response,
 )
+from repro.obs.metrics import REGISTRY as _METRICS
 from repro.serve.jobs import Job, JobManager
 
 #: Poll period of the event stream's liveness check (seconds).  Streams
 #: re-check the job between queue waits so a subscriber that raced a
 #: terminal transition still unblocks.
 _EVENT_POLL_S = 15.0
+
+_REQUESTS = _METRICS.counter(
+    "repro_serve_requests_total", "HTTP requests handled, by route")
+_REQUEST_SECONDS = _METRICS.histogram(
+    "repro_serve_request_seconds",
+    "Request handling latency by route (streams measure setup only)")
+_JOB_QUEUE_DEPTH = _METRICS.gauge(
+    "repro_serve_job_queue_depth", "Jobs waiting for the runner thread")
+_JOBS_BY_STATE = _METRICS.gauge(
+    "repro_serve_jobs", "Known jobs by state (bounded history)")
+
+#: Route prefixes -> the low-cardinality label recorded per request
+#: (ids, names, and keys must not explode the label space).
+_ROUTE_LABELS = (
+    ("/healthz", "/healthz"),
+    ("/metrics", "/metrics"),
+    ("/v1/cache/stats", "/v1/cache/stats"),
+    ("/v1/experiments", "/v1/experiments"),
+    ("/v1/scenarios", "/v1/scenarios"),
+    ("/v1/jobs", "/v1/jobs"),
+    ("/v1/results", "/v1/results"),
+    ("/v1/artifacts", "/v1/artifacts"),
+)
+
+
+def _route_label(path: str) -> str:
+    for prefix, label in _ROUTE_LABELS:
+        if path == prefix or path.startswith(prefix + "/"):
+            if label == "/v1/jobs" and path.endswith("/events"):
+                return "/v1/jobs/events"
+            return label
+    return "<unrouted>"
 
 
 class ReproApp:
@@ -66,17 +101,40 @@ class ReproApp:
         self.cache = cache
         self.workers = workers
         self.jobs = JobManager(cache=cache, backend=backend)
+        # Replace-by-name: a re-created app (tests) samples *its* job
+        # manager, not a stale predecessor's.
+        _METRICS.add_collector("serve-jobs", self._collect_jobs)
+
+    def _collect_jobs(self, registry) -> None:
+        _JOB_QUEUE_DEPTH.set(self.jobs._queue.qsize())
+        for state, count in self.jobs.counts().items():
+            _JOBS_BY_STATE.set(count, state=state)
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     async def handle(self, request: Request) -> Response | StreamResponse:
+        """Timing wrapper around the route table: every request lands
+        in the per-route latency histogram, including error responses
+        (an HttpError still counts — slow failures matter)."""
+        label = _route_label(request.path.rstrip("/") or "/")
+        start = time.perf_counter()
+        try:
+            return await self._route(request)
+        finally:
+            _REQUESTS.inc(route=label)
+            _REQUEST_SECONDS.observe(time.perf_counter() - start,
+                                     route=label)
+
+    async def _route(self, request: Request) -> Response | StreamResponse:
         method, path = request.method, request.path.rstrip("/") or "/"
         if method == "HEAD":
             method = "GET"  # the connection loop suppresses the body
 
         if path == "/healthz" and method == "GET":
             return self._healthz()
+        if path == "/metrics" and method == "GET":
+            return self._metrics(request)
         if path == "/v1/cache/stats" and method == "GET":
             return json_response(self.cache.stats())
         if path == "/v1/experiments" and method == "GET":
@@ -100,7 +158,7 @@ class ReproApp:
             return self._artifact(path[len("/v1/artifacts/"):], request)
 
         known = any(path == p or path.startswith(p + "/") for p in (
-            "/healthz", "/v1/cache/stats", "/v1/experiments",
+            "/healthz", "/metrics", "/v1/cache/stats", "/v1/experiments",
             "/v1/scenarios", "/v1/jobs", "/v1/results", "/v1/artifacts"))
         if known:
             raise HttpError(405, f"{request.method} is not supported "
@@ -114,6 +172,16 @@ class ReproApp:
         return json_response({"status": "ok",
                               "jobs": self.jobs.counts(),
                               "cache_entries": self.cache.stats()["entries"]})
+
+    def _metrics(self, request: Request) -> Response:
+        """The whole registry — Prometheus text by default,
+        ``?format=json`` for the ``repro stats`` snapshot document."""
+        if request.query.get("format") == "json":
+            return json_response({"metrics": _METRICS.snapshot()})
+        return Response(
+            body=_METRICS.to_prometheus().encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+            headers=(("Cache-Control", "no-store"),))
 
     def _catalog(self) -> Response:
         return json_response({"experiments": [

@@ -32,6 +32,16 @@ import time
 import uuid
 
 from repro.dist import execution
+from repro.obs.metrics import REGISTRY as _METRICS
+
+_SSE_SUBSCRIBERS = _METRICS.gauge(
+    "repro_serve_sse_subscribers",
+    "Live job event streams (SSE/NDJSON) currently subscribed")
+_JOBS_SUBMITTED = _METRICS.counter(
+    "repro_serve_jobs_submitted_total",
+    "Jobs accepted by the queue (deduplicated submissions not counted)")
+_JOBS_FINISHED = _METRICS.counter(
+    "repro_serve_jobs_finished_total", "Jobs that reached done/failed")
 
 #: Completed jobs kept around for /v1/jobs introspection.
 HISTORY_LIMIT = 256
@@ -64,9 +74,15 @@ class Job:
         self.key = key
         self.work = work  # work(progress) -> ExperimentRun
         self.state = "queued"
+        # Wall timestamps are for display only; elapsed time is
+        # measured on the monotonic clock so an NTP step or DST jump
+        # mid-job cannot corrupt (or negate) reported durations.
         self.created = time.time()
         self.started: float | None = None
         self.finished: float | None = None
+        self.duration_s: float | None = None
+        self._mono_created = time.monotonic()
+        self._mono_started: float | None = None
         self.progress: dict = {}
         self.error: str | None = None
         self.checksum: str | None = None
@@ -94,6 +110,7 @@ class Job:
                 "created": self.created,
                 "started": self.started,
                 "finished": self.finished,
+                "duration_s": self.duration_s,
                 "progress": dict(self.progress),
                 "trials": self.trials,
                 "elapsed_s": self.elapsed_s,
@@ -126,12 +143,17 @@ class Job:
                 q.put_nowait(doc)
             if not self.terminal:
                 self._subscribers.append((loop, q))
+                _SSE_SUBSCRIBERS.inc()
         return q
 
     def unsubscribe(self, q) -> None:
         with self._lock:
+            before = len(self._subscribers)
             self._subscribers = [(lp, sq) for lp, sq in self._subscribers
                                  if sq is not q]
+            removed = before - len(self._subscribers)
+        if removed:
+            _SSE_SUBSCRIBERS.dec(removed)
 
     # ------------------------------------------------------------------
     # State transitions (runner thread)
@@ -140,7 +162,15 @@ class Job:
         with self._lock:
             self.state = "running"
             self.started = time.time()
+            self._mono_started = time.monotonic()
         self._emit("running", {})
+
+    def _elapsed(self) -> float:
+        """Monotonic seconds since the job started running (queue wait
+        included when it never started); caller holds the lock."""
+        base = (self._mono_started if self._mono_started is not None
+                else self._mono_created)
+        return max(0.0, time.monotonic() - base)
 
     def _tick(self, done: int, total: int, cache_hits: int) -> None:
         payload = {"done": done, "total": total, "cache_hits": cache_hits}
@@ -152,19 +182,25 @@ class Job:
         with self._lock:
             self.state = "done"
             self.finished = time.time()
+            self.duration_s = self._elapsed()
             self.checksum = checksum
             self.trials = run.trials
             self.elapsed_s = run.elapsed_s
+        _JOBS_FINISHED.inc(state="done")
         self._emit("done", {"key": self.key, "checksum": checksum,
                             "trials": run.trials,
-                            "elapsed_s": run.elapsed_s})
+                            "elapsed_s": run.elapsed_s,
+                            "duration_s": self.duration_s})
 
     def _fail(self, message: str) -> None:
         with self._lock:
             self.state = "failed"
             self.finished = time.time()
+            self.duration_s = self._elapsed()
             self.error = message
-        self._emit("failed", {"error": message})
+        _JOBS_FINISHED.inc(state="failed")
+        self._emit("failed", {"error": message,
+                              "duration_s": self.duration_s})
 
 
 class JobManager:
@@ -200,6 +236,7 @@ class JobManager:
             self._inflight[key] = job
             self._prune_history()
             self._ensure_thread()
+        _JOBS_SUBMITTED.inc()
         self._queue.put(job)
         return job, True
 

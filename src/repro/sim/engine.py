@@ -53,6 +53,28 @@ class SimulationError(RuntimeError):
     """Raised for scheduling errors (e.g., scheduling into the past)."""
 
 
+#: Process-wide event totals across every Simulator instance, published
+#: once per ``run()`` call (never from the hot loop).  The telemetry
+#: registry samples these by delta (:mod:`repro.obs.metrics`), and dist
+#: workers ship their deltas home for coordinator-side aggregation.
+_GLOBAL_COUNTERS = {"events_run": 0, "events_elided": 0}
+
+
+def global_counters() -> dict[str, int]:
+    """Snapshot of process-wide event totals (copy)."""
+    return dict(_GLOBAL_COUNTERS)
+
+
+def absorb_counters(delta: dict) -> None:
+    """Fold a worker's counter delta into this process's totals (the
+    dist coordinator calls this with the ``"m"`` field of a result
+    frame, mirroring :func:`repro.sim.fastforward.absorb_totals`)."""
+    for key in _GLOBAL_COUNTERS:
+        value = delta.get(key)
+        if isinstance(value, int) and value > 0:
+            _GLOBAL_COUNTERS[key] += value
+
+
 class Simulator:
     """A minimal, deterministic discrete-event simulator.
 
@@ -68,7 +90,7 @@ class Simulator:
 
     __slots__ = ("now", "_heap", "_fifo", "_fifo_head", "_imm",
                  "_imm_head", "_seq", "_events_run", "_events_elided",
-                 "_running", "_stop_at")
+                 "_elided_published", "_running", "_stop_at")
 
     def __init__(self) -> None:
         self.now: int = 0
@@ -80,6 +102,10 @@ class Simulator:
         self._seq: int = 0
         self._events_run: int = 0
         self._events_elided: int = 0
+        #: Portion of ``_events_elided`` already folded into the
+        #: process-wide totals (publication happens at run() exit so
+        #: note_elided stays a bare increment on the ff hot path).
+        self._elided_published: int = 0
         self._running = False
         #: ``until`` of the run() call currently executing (None when
         #: not running or running without a limit); see run_horizon.
@@ -327,6 +353,11 @@ class Simulator:
             self._fifo_head = 0
             self._imm_head = 0
             self._events_run += executed
+            _GLOBAL_COUNTERS["events_run"] += executed
+            elided_delta = self._events_elided - self._elided_published
+            if elided_delta:
+                _GLOBAL_COUNTERS["events_elided"] += elided_delta
+                self._elided_published = self._events_elided
             self._running = False
             self._stop_at = None
         if until is not None and until > self.now:

@@ -43,6 +43,8 @@ class TestMetrics:
             "serve_cached_hit_latency_seconds",
             "serve_cached_requests_per_sec",
             "report_slice_seconds",
+            "telemetry_engine_overhead_pct",
+            "telemetry_overhead_canary_ok",
         }
 
     def test_rates_positive(self, metrics):
@@ -62,6 +64,10 @@ class TestMetrics:
     def test_steadystate_equivalence_canary(self, metrics):
         assert metrics["covert_steadystate_identical"] is True
         assert metrics["covert_steadystate_trial_seconds"] > 0
+
+    def test_telemetry_overhead_canary(self, metrics):
+        assert metrics["telemetry_engine_overhead_pct"] >= 0.0
+        assert metrics["telemetry_overhead_canary_ok"] is True
 
 
 class TestCompare:
